@@ -1,0 +1,73 @@
+// Experiment E12 (paper Section 3.2 "FPGA", refs [25][26]): fault recovery
+// strategies for safety-critical compute. FPGA partial reconfiguration
+// (recover the faulty module alone while a redundant mode covers) is
+// compared against full-device reconfiguration, spare-ECU failover, and
+// dual hot-standby hardware: per-fault recovery time, mission availability,
+// collateral (isolation) downtime, and hardware overhead.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ev/ecu/fpga.h"
+#include "ev/util/table.h"
+#include "harness.h"
+
+namespace {
+
+using namespace ev::ecu;
+
+void run_experiment() {
+  std::puts("E12 — fault recovery: FPGA partial reconfiguration vs alternatives\n");
+
+  const FpgaConfig cfg;
+  ev::util::Table rec("per-fault recovery time",
+                      {"strategy", "recovery time", "other modules affected"});
+  for (RecoveryStrategy s :
+       {RecoveryStrategy::kPartialReconfiguration, RecoveryStrategy::kFullReconfiguration,
+        RecoveryStrategy::kEcuFailover, RecoveryStrategy::kDualHardware}) {
+    const bool collateral = s == RecoveryStrategy::kFullReconfiguration ||
+                            s == RecoveryStrategy::kEcuFailover;
+    rec.add_row({to_string(s), ev::util::fmt(recovery_time_s(cfg, s) * 1e3, 3) + " ms",
+                 collateral ? "yes (whole device stops)" : "no (isolated)"});
+  }
+  rec.print();
+
+  ev::util::Table mission("1000 h mission, 2 transient faults/h (same fault trace)",
+                          {"strategy", "faults", "function downtime",
+                           "collateral downtime", "availability",
+                           "hardware overhead"});
+  const double mission_s = 1000.0 * 3600.0;
+  for (RecoveryStrategy s :
+       {RecoveryStrategy::kPartialReconfiguration, RecoveryStrategy::kFullReconfiguration,
+        RecoveryStrategy::kEcuFailover, RecoveryStrategy::kDualHardware}) {
+    ev::util::Rng rng(123);  // identical fault trace for every strategy
+    const RecoveryReport r = simulate_mission(cfg, s, mission_s, rng);
+    mission.add_row({to_string(s), std::to_string(r.faults),
+                     ev::util::fmt(r.downtime_s, 2) + " s",
+                     ev::util::fmt(r.system_downtime_s, 2) + " s",
+                     ev::util::fmt(r.availability * 100.0, 5) + " %",
+                     ev::util::fmt_pct(r.hardware_overhead)});
+  }
+  mission.print();
+  std::puts("expected shape: partial reconfiguration recovers in roughly the "
+            "region-bitstream load time — orders of magnitude below an ECU "
+            "reboot — with no collateral outage and a fraction of the dual-"
+            "hardware cost.\n");
+}
+
+void bm_mission_simulation(benchmark::State& state) {
+  const FpgaConfig cfg;
+  for (auto _ : state) {
+    ev::util::Rng rng(5);
+    benchmark::DoNotOptimize(simulate_mission(
+        cfg, RecoveryStrategy::kPartialReconfiguration, 1000.0 * 3600.0, rng));
+  }
+}
+BENCHMARK(bm_mission_simulation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  return evbench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,89 @@
+// Experiment E1 (paper Fig. 1): the heterogeneous five-bus in-vehicle
+// network with a central gateway. Regenerates per-bus utilization/latency
+// and the cross-domain (through-gateway) end-to-end latencies under the
+// representative message set, at increasing load.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ev/network/topology.h"
+#include "ev/sim/simulator.h"
+#include "ev/util/table.h"
+#include "harness.h"
+
+namespace {
+
+using namespace ev::network;
+using ev::sim::Simulator;
+using ev::sim::Time;
+
+void run_experiment() {
+  std::puts("E1 — Fig. 1 heterogeneous in-vehicle network (30 s simulated)\n");
+
+  Simulator sim;
+  Figure1Network net(sim);
+  net.start();
+  sim.run_until(Time::s(30));
+
+  ev::util::Table buses("per-bus load and latency",
+                        {"bus", "bit rate", "utilization", "frames delivered",
+                         "mean latency", "p99 latency"});
+  for (Bus* bus : net.buses()) {
+    buses.add_row({bus->name(), ev::util::fmt_si(bus->bit_rate(), 1) + "bit/s",
+                   ev::util::fmt_pct(bus->utilization(), 2),
+                   std::to_string(bus->delivered_count()),
+                   ev::util::fmt(bus->latency().mean() * 1e3, 3) + " ms",
+                   ev::util::fmt(bus->latency().percentile(99) * 1e3, 3) + " ms"});
+  }
+  buses.print();
+
+  ev::util::Table flows("cross-domain flows through the central gateway",
+                        {"flow", "samples", "mean e2e", "max e2e"});
+  for (const auto& [name, series] : net.flow_latency()) {
+    flows.add_row({name, std::to_string(series.count()),
+                   ev::util::fmt(series.mean() * 1e3, 3) + " ms",
+                   ev::util::fmt(series.max() * 1e3, 3) + " ms"});
+  }
+  flows.print();
+  std::printf("gateway: %zu frames forwarded, %zu dropped\n\n",
+              net.gateway().forwarded_count(), net.gateway().dropped_count());
+
+  // Load sweep: utilization and worst flow latency vs message-rate scale.
+  ev::util::Table sweep("load sweep (message rate scale)",
+                        {"scale", "safety CAN util", "chassis FR util",
+                         "worst cross-domain e2e"});
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    Simulator s2;
+    Figure1Config cfg;
+    cfg.load_scale = scale;
+    Figure1Network n2(s2, cfg);
+    n2.start();
+    s2.run_until(Time::s(10));
+    double worst = 0.0;
+    for (const auto& [name, series] : n2.flow_latency())
+      worst = std::max(worst, series.max());
+    sweep.add_row({ev::util::fmt(scale, 1),
+                   ev::util::fmt_pct(n2.safety_can().utilization(), 2),
+                   ev::util::fmt_pct(n2.chassis_flexray().utilization(), 2),
+                   ev::util::fmt(worst * 1e3, 3) + " ms"});
+  }
+  sweep.print();
+}
+
+void bm_figure1_simulation(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Figure1Network net(sim);
+    net.start();
+    sim.run_until(Time::s(1));
+    benchmark::DoNotOptimize(net.gateway().forwarded_count());
+  }
+}
+BENCHMARK(bm_figure1_simulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  return evbench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,35 @@
+/// \file harness.h
+/// Shared scaffolding for the experiment binaries: after printing the
+/// experiment tables, each binary runs its registered google-benchmark
+/// microbenchmarks with a short default measuring time (override with the
+/// usual --benchmark_* flags).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace evbench {
+
+/// Initializes and runs google-benchmark. When the caller passed no
+/// benchmark flags, a short --benchmark_min_time keeps the full harness
+/// sweep fast.
+inline int run_registered_benchmarks(int argc, char** argv) {
+  std::vector<std::string> stored(argv, argv + argc);
+  bool has_min_time = false;
+  for (const std::string& s : stored)
+    if (s.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+  if (!has_min_time) stored.push_back("--benchmark_min_time=0.05");
+
+  std::vector<char*> args;
+  args.reserve(stored.size());
+  for (auto& s : stored) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace evbench

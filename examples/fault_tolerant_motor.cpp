@@ -1,0 +1,85 @@
+// Fault-tolerant motor control (the paper's Fig. 3 narrative): run the PMSM
+// drive at speed, break one IGBT, watch the detector locate the fault and
+// the controller reconfigure to four-switch operation — then compare the
+// waveform quality before, during, and after.
+//
+//   $ ./fault_tolerant_motor
+#include <cstdio>
+
+#include "ev/motor/drive.h"
+#include "ev/util/math.h"
+#include "ev/util/table.h"
+
+namespace {
+
+struct Phase {
+  const char* label;
+  double thd;
+  double torque_ripple;
+  double speed;
+};
+
+Phase measure(ev::motor::MotorDrive& drive, const char* label, double speed_ref,
+              double load) {
+  drive.clear_recording();
+  drive.set_recording(true);
+  for (int k = 0; k < 8000; ++k) drive.step(speed_ref, load);
+  drive.set_recording(false);
+
+  const double fund_hz = drive.machine().electrical_speed() / ev::util::kTwoPi;
+  const double thd = ev::motor::total_harmonic_distortion(
+      drive.recorded_current_a(), drive.record_rate_hz(), fund_hz);
+  double t_min = 1e9, t_max = -1e9, t_sum = 0;
+  for (double t : drive.recorded_torque()) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+    t_sum += t;
+  }
+  const double mean_t = t_sum / static_cast<double>(drive.recorded_torque().size());
+  return Phase{label, thd, (t_max - t_min) / std::max(mean_t, 1.0),
+               drive.machine().speed_rad_s()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace ev::motor;
+
+  MotorDrive drive;
+  const double speed_ref = 200.0;  // rad/s mechanical (~1900 rpm)
+  const double load = 30.0;        // Nm
+
+  std::printf("Spinning up to %.0f rad/s against %.0f Nm...\n", speed_ref, load);
+  for (int k = 0; k < 30000; ++k) drive.step(speed_ref, load);
+  const Phase healthy = measure(drive, "healthy (6-switch SVM)", speed_ref, load);
+
+  std::printf("Breaking the upper IGBT of phase a (open circuit)...\n");
+  drive.inject_open_fault(Igbt::kUpperA);
+  // Sample the faulted interval before the detector reacts by running a
+  // non-fault-tolerant twin — the production drive below reconfigures fast.
+  DriveConfig degraded_cfg;
+  degraded_cfg.fault_tolerant = false;
+  MotorDrive degraded(degraded_cfg);
+  for (int k = 0; k < 30000; ++k) degraded.step(speed_ref, load);
+  degraded.inject_open_fault(Igbt::kUpperA);
+  const Phase faulted = measure(degraded, "faulted (no reaction)", speed_ref, load);
+
+  for (int k = 0; k < 60000 && drive.mode() != DriveMode::kReconfigured; ++k)
+    drive.step(speed_ref, load);
+  std::printf("Fault detected and leg isolated after %.2f ms; reconfigured to "
+              "four-switch (B4) modulation.\n",
+              drive.detection_latency_s().value_or(0.0) * 1e3);
+  for (int k = 0; k < 40000; ++k) drive.step(speed_ref, load);  // settle
+  const Phase recovered = measure(drive, "reconfigured (4-switch)", speed_ref, load);
+
+  ev::util::Table table("waveform quality across the fault sequence",
+                        {"phase", "current THD", "torque ripple", "speed [rad/s]"});
+  for (const Phase& p : {healthy, faulted, recovered})
+    table.add_row({p.label, ev::util::fmt_pct(p.thd), ev::util::fmt_pct(p.torque_ripple),
+                   ev::util::fmt(p.speed, 1)});
+  table.print();
+
+  std::printf("\nThe reconfigured drive holds the speed command with bounded "
+              "ripple — the fault-tolerant control strategy the paper calls for.\n");
+  return 0;
+}

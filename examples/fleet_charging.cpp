@@ -1,0 +1,47 @@
+// Fleet charging information system (paper Section 2, "Information
+// Systems"): a day in a city where an EV fleet shares a small charging
+// infrastructure. Compares what drivers experience when everyone just heads
+// to the nearest station against the coordinated assignment a fleet-wide
+// information system enables — and shows the fleet serving a V2G request.
+//
+//   $ ./fleet_charging
+#include <cstdio>
+
+#include "ev/infra/charging_network.h"
+#include "ev/util/table.h"
+
+int main() {
+  using namespace ev::infra;
+
+  FleetConfig cfg;
+  cfg.station_count = 5;
+  cfg.vehicle_count = 90;
+  cfg.sim_hours = 12.0;
+  cfg.seed = 7;
+
+  ChargingNetwork city(cfg);
+  std::printf("City: %zu charging stations (2 x 50 kW each), fleet of %zu EVs, "
+              "12 h of driving.\n\n",
+              city.stations().size(), city.fleet().size());
+
+  ev::util::Table table("driver experience by assignment policy",
+                        {"policy", "trips done", "mean wait", "max wait",
+                         "mean detour", "stranded"});
+  for (AssignmentPolicy policy :
+       {AssignmentPolicy::kNearestStation, AssignmentPolicy::kCoordinated}) {
+    const FleetReport r = city.run(policy);
+    table.add_row({to_string(policy), std::to_string(r.trips_completed),
+                   ev::util::fmt(r.mean_wait_min, 1) + " min",
+                   ev::util::fmt(r.max_wait_min, 1) + " min",
+                   ev::util::fmt(r.mean_detour_km, 2) + " km",
+                   std::to_string(r.stranded)});
+  }
+  table.print();
+
+  const FleetReport v2g = city.run(AssignmentPolicy::kCoordinated, 60.0);
+  std::printf("\nWith a standing 60 kW V2G request, the plugged fleet fed "
+              "%.1f kWh back to the grid over the day while keeping every "
+              "vehicle above the %.0f%% SoC reserve.\n",
+              v2g.v2g_energy_kwh, cfg.v2g_reserve_soc * 100.0);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Architecture design walk-through (the paper's core argument): take one
+// functional network, deploy it federated (Fig. 1 style) and integrated
+// (consolidated domain controllers on one backbone), compare the metrics,
+// synthesize a time-triggered schedule for the control chains, and formally
+// verify a control message's transmission pattern.
+//
+//   $ ./network_architect
+#include <cstdio>
+
+#include "ev/core/evaluation.h"
+#include "ev/core/synthesis.h"
+#include "ev/scheduling/synthesis.h"
+#include "ev/util/table.h"
+#include "ev/verification/model_checker.h"
+
+int main() {
+  using namespace ev::core;
+
+  // --- 1. The functional content of a compact EV ----------------------------
+  const FunctionNetwork net = reference_function_network();
+  std::printf("Function network: %zu functions, %zu signals\n\n", net.functions.size(),
+              net.signals.size());
+
+  // --- 2. Deploy both architecture styles -----------------------------------
+  const Architecture federated = synthesize_federated(net);
+  const Architecture integrated = synthesize_integrated(net);
+  const ArchitectureMetrics mf = evaluate(federated);
+  const ArchitectureMetrics mi = evaluate(integrated);
+
+  ev::util::Table cmp("federated vs integrated deployment",
+                      {"metric", "federated (Fig.1)", "integrated"});
+  cmp.add_row({"ECUs", std::to_string(mf.ecu_count), std::to_string(mi.ecu_count)});
+  cmp.add_row({"buses", std::to_string(mf.bus_count), std::to_string(mi.bus_count)});
+  cmp.add_row({"gateways", std::to_string(mf.gateway_count),
+               std::to_string(mi.gateway_count)});
+  cmp.add_row({"wiring", ev::util::fmt(mf.wiring_m, 1) + " m",
+               ev::util::fmt(mi.wiring_m, 1) + " m"});
+  cmp.add_row({"hardware cost", ev::util::fmt(mf.hardware_cost, 1),
+               ev::util::fmt(mi.hardware_cost, 1)});
+  cmp.add_row({"mean ECU utilization", ev::util::fmt_pct(mf.mean_utilization),
+               ev::util::fmt_pct(mi.mean_utilization)});
+  cmp.add_row({"networked signals", std::to_string(mf.cross_ecu_signals),
+               std::to_string(mi.cross_ecu_signals)});
+  cmp.add_row({"ECU-local signals", std::to_string(mf.local_signals),
+               std::to_string(mi.local_signals)});
+  cmp.print();
+
+  // --- 3. Time-triggered schedule for the brake-by-wire chain ---------------
+  // pedal acquisition -> backbone message -> brake controller, 5 ms period.
+  ev::scheduling::System sys;
+  sys.activities = {{0, "pedal-acq", 0, 5000, 300, {}},
+                    {1, "brake-msg", 100, 5000, 50, {0}},
+                    {2, "brake-ctrl", 1, 5000, 800, {1}},
+                    {3, "actuate-msg", 100, 5000, 50, {2}},
+                    {4, "wheel-actuator", 2, 5000, 200, {3}}};
+  sys.chains = {{"brake-by-wire", {0, 1, 2, 3, 4}, 5000}};
+  const auto schedule = ev::scheduling::MonolithicSynthesizer().synthesize(sys);
+  if (schedule.feasible) {
+    const auto latency = ev::scheduling::chain_latency_us(sys, schedule, sys.chains[0]);
+    std::printf("\nBrake-by-wire chain scheduled time-triggered: end-to-end %lld us "
+                "(deadline %lld us), zero jitter by construction.\n",
+                static_cast<long long>(latency),
+                static_cast<long long>(sys.chains[0].deadline_us));
+  }
+
+  // --- 4. Formal verification of the transmission pattern -------------------
+  // The brake message occupies 9 of every 10 backbone slots (one slot is a
+  // maintenance gap). The control loop tolerates at most 2 consecutive
+  // drops: verify by model checking, not by testing.
+  const auto system = ev::verification::TransmissionSystem::time_triggered(10, 1);
+  const auto ok = ev::verification::verify(
+      system, ev::verification::MonitorDfa::max_consecutive_drops(2));
+  std::printf("Verification '%s' vs '%s': %s (%zu product states)\n",
+              system.description().c_str(), "never more than 2 consecutive drops",
+              ok.verified ? "VERIFIED" : "VIOLATED", ok.product_states);
+
+  // And a requirement the pattern cannot meet — with a counterexample.
+  const auto bad = ev::verification::verify(
+      system, ev::verification::MonitorDfa::at_least_m_of_n(10, 10));
+  std::printf("Verification vs 'all 10 of 10 slots': %s (counterexample length %zu)\n",
+              bad.verified ? "VERIFIED" : "VIOLATED", bad.counterexample.size());
+  return 0;
+}

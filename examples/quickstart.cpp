@@ -1,0 +1,60 @@
+// Quickstart: build a compact EV, drive one urban cycle, and read out the
+// energy ledger and the information system's range projection.
+//
+//   $ ./quickstart
+//
+// This touches the three layers a new user needs first: the powertrain
+// plant (battery + BMS + motor + vehicle), the drive-cycle library, and the
+// range estimator feeding the information system.
+#include <cstdio>
+
+#include "ev/powertrain/drive_cycle.h"
+#include "ev/powertrain/simulation.h"
+#include "ev/util/table.h"
+
+int main() {
+  using namespace ev::powertrain;
+
+  // 1. Configure the vehicle. Defaults model a ~1.6 t compact EV with a
+  //    96-cell / ~14 kWh pack; tweak any field of the config to taste.
+  PowertrainConfig config;
+  config.pack.module_count = 8;
+  config.pack.cells_per_module = 12;
+  config.bms.balancing = ev::bms::BalancingKind::kActive;
+  config.seed = 2024;
+
+  PowertrainSimulation vehicle(config);
+
+  // 2. Drive one synthetic urban cycle (UDDS-like stop-and-go).
+  const DriveCycle cycle = DriveCycle::urban();
+  std::printf("Driving '%s': %.1f km ideal distance, %d stops, %.0f s\n",
+              cycle.name().c_str(), cycle.ideal_distance_m() / 1000.0,
+              cycle.stop_count(), cycle.duration_s());
+
+  const CycleResult result = vehicle.run_cycle(cycle);
+
+  // 3. Read out the ledger.
+  ev::util::Table table("urban cycle result", {"metric", "value"});
+  table.add_row({"distance", ev::util::fmt(result.distance_km, 2) + " km"});
+  table.add_row({"consumption", ev::util::fmt(result.consumption_wh_km, 1) + " Wh/km"});
+  table.add_row({"energy drawn", ev::util::fmt(result.battery_energy_out_wh, 0) + " Wh"});
+  table.add_row({"energy recuperated",
+                 ev::util::fmt(result.regen_recovered_wh, 0) + " Wh"});
+  table.add_row({"motor+inverter losses", ev::util::fmt(result.motor_loss_wh, 0) + " Wh"});
+  table.add_row({"friction brake losses",
+                 ev::util::fmt(result.friction_brake_loss_wh, 0) + " Wh"});
+  table.add_row({"12V auxiliary", ev::util::fmt(result.aux_energy_wh, 0) + " Wh"});
+  table.add_row({"speed tracking error",
+                 ev::util::fmt(result.mean_abs_speed_error_mps, 3) + " m/s"});
+  table.add_row({"final pack SoC", ev::util::fmt_pct(result.final_soc)});
+  table.print();
+
+  // 4. Ask the information system what is left.
+  const double usable_wh = vehicle.pack().usable_energy_wh();
+  const double range_km = vehicle.range_estimator().remaining_range_km(usable_wh);
+  std::printf("\nInformation system: %.0f Wh usable -> %.0f km remaining range\n",
+              usable_wh, range_km);
+  std::printf("Destination 50 km away reachable with 15%% reserve: %s\n",
+              vehicle.range_estimator().reachable(50.0, usable_wh) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Secure charging (Section 4.2): run charging sessions with a
+// man-in-the-middle attacker on the connector, with and without
+// challenge-response authentication + per-message MACs, and show which
+// attacks get through. Also demonstrates why classic CAN cannot carry the
+// protected frames while Ethernet can.
+//
+//   $ ./secure_charging
+#include <cstdio>
+
+#include "ev/security/charging.h"
+#include "ev/security/secure_channel.h"
+#include "ev/util/rng.h"
+#include "ev/util/table.h"
+
+int main() {
+  using namespace ev::security;
+
+  const Key credential = {'p', 'r', 'o', 'v', 'i', 's', 'i', 'o', 'n', 'e', 'd'};
+  ev::util::Rng rng(42);
+
+  ev::util::Table table("charging session under attack (11 kW, 30 min)",
+                        {"attack", "auth", "delivered", "billed", "V2G accepted",
+                         "rejected msgs", "attack succeeded"});
+
+  const MitmAttacker::Attack attacks[] = {
+      MitmAttacker::Attack::kNone, MitmAttacker::Attack::kInflateBilling,
+      MitmAttacker::Attack::kInjectV2g, MitmAttacker::Attack::kReplayMeter};
+  const char* names[] = {"none", "inflate-billing", "inject-V2G", "replay-meter"};
+
+  for (bool auth : {false, true}) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      MitmAttacker attacker(attacks[a]);
+      ChargingConfig cfg;
+      cfg.authenticate = auth;
+      const SessionOutcome out =
+          run_charging_session(credential, cfg, attacker, 11.0, 1800.0, rng);
+      const bool fraud = out.billed_kwh > out.delivered_kwh + 1e-9 ||
+                         out.accepted_v2g_commands > 0;
+      table.add_row({names[a], auth ? "challenge-response" : "off",
+                     ev::util::fmt(out.delivered_kwh, 3) + " kWh",
+                     ev::util::fmt(out.billed_kwh, 3) + " kWh",
+                     std::to_string(out.accepted_v2g_commands),
+                     std::to_string(out.rejected_messages), fraud ? "YES" : "no"});
+    }
+  }
+  table.print();
+
+  // Why the in-vehicle transport matters: per-frame security overhead.
+  SecureChannel channel(Key(32, 0x11), 1);
+  std::printf("\nSecure-channel overhead: %zu bytes per message "
+              "(counter + truncated HMAC tag)\n",
+              channel.overhead_bytes());
+  std::printf("  classic CAN frame (8-byte payload):   %s\n",
+              channel.max_plaintext(8) ? "fits" : "DOES NOT FIT -> CAN unsuitable");
+  std::printf("  FlexRay static slot (16-byte payload): %zu plaintext bytes\n",
+              channel.max_plaintext(16).value_or(0));
+  std::printf("  Ethernet frame (1500-byte payload):    %zu plaintext bytes\n",
+              channel.max_plaintext(1500).value_or(0));
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// \file cell.h
+/// Electro-thermal Li-Ion cell model: second-order Thevenin equivalent
+/// circuit (series resistance plus two RC polarization branches) around a
+/// piecewise-linear OCV(SoC) source, a lumped thermal node, and a simple
+/// stress-weighted capacity-fade (ageing) model.
+///
+/// Sign convention throughout the battery and powertrain modules:
+/// **positive current discharges** the cell (current flows out of the
+/// positive terminal into the load); negative current charges it.
+#pragma once
+
+#include <memory>
+
+#include "ev/battery/ocv_curve.h"
+
+namespace ev::battery {
+
+/// Electrical, thermal, and safety parameters of one cell.
+struct CellParameters {
+  double capacity_ah = 40.0;      ///< Nominal capacity at beginning of life [Ah].
+  double r0_ohm = 0.0015;         ///< Ohmic series resistance [Ohm].
+  double r1_ohm = 0.0008;         ///< First polarization resistance [Ohm].
+  double c1_farad = 20000.0;      ///< First polarization capacitance [F] (~16 s).
+  double r2_ohm = 0.0005;         ///< Second polarization resistance [Ohm].
+  double c2_farad = 120000.0;     ///< Second polarization capacitance [F] (~60 s).
+  double thermal_capacity_j_per_k = 900.0;   ///< Lumped heat capacity [J/K].
+  double thermal_resistance_k_per_w = 4.0;   ///< Node-to-ambient resistance [K/W].
+  double min_voltage = 3.0;       ///< Undervoltage safety limit [V].
+  double max_voltage = 4.2;       ///< Overvoltage safety limit [V].
+  double max_temperature_c = 60.0;    ///< Overtemperature safety limit [degC].
+  double runaway_temperature_c = 80.0;  ///< Thermal-runaway onset [degC].
+  double max_discharge_current_a = 400.0;  ///< Discharge current limit [A].
+  double max_charge_current_a = 120.0;     ///< Charge current limit [A].
+  /// Capacity fade per ampere-hour of charge throughput at moderate stress,
+  /// as a fraction of nominal capacity. Default ~20% fade after 3000
+  /// equivalent full cycles of an 40 Ah cell.
+  double fade_per_ah_throughput = 20e-3 / (3000.0 * 2 * 40.0) * 10.0;
+};
+
+/// Instantaneous cell condition flags raised by step(); the BMS safety
+/// monitor consumes these.
+struct CellStatus {
+  bool overvoltage = false;
+  bool undervoltage = false;
+  bool overtemperature = false;
+  bool overcurrent = false;
+  bool thermal_runaway = false;
+  /// True when any flag is raised.
+  [[nodiscard]] bool any() const noexcept {
+    return overvoltage || undervoltage || overtemperature || overcurrent || thermal_runaway;
+  }
+};
+
+/// One Li-Ion cell. Continuous state is advanced by fixed-step explicit
+/// integration in step(); the step sizes used across evsys (10-100 ms) are
+/// far below the smallest RC time constant, keeping the explicit scheme
+/// stable and accurate.
+class Cell {
+ public:
+  /// Creates a cell with the given parameters and chemistry at \p initial_soc
+  /// (clamped to [0,1]) and \p initial_temp_c.
+  Cell(CellParameters params, OcvCurve curve, double initial_soc = 0.5,
+       double initial_temp_c = 25.0);
+
+  /// Advances the model by \p dt_s seconds under \p current_a (positive =
+  /// discharge) with \p ambient_c ambient temperature, including \p
+  /// extra_heat_w of externally generated heat (e.g. a bleed resistor mounted
+  /// on the cell). Returns the safety status observed during the step.
+  CellStatus step(double current_a, double dt_s, double ambient_c = 25.0,
+                  double extra_heat_w = 0.0);
+
+  /// Transfers \p coulombs of charge directly into (+) or out of (-) the
+  /// cell without ohmic loss, used by the active-balancing hardware model
+  /// which accounts for converter efficiency itself.
+  void inject_charge(double coulombs) noexcept;
+
+  /// True state of charge in [0,1] (simulation ground truth; the BMS must
+  /// estimate it from sensors instead of reading this).
+  [[nodiscard]] double soc() const noexcept { return soc_; }
+  /// Terminal voltage under \p current_a load at the present state [V].
+  [[nodiscard]] double terminal_voltage(double current_a = 0.0) const noexcept;
+  /// Open-circuit voltage at the present SoC [V].
+  [[nodiscard]] double open_circuit_voltage() const noexcept;
+  /// Cell temperature [degC].
+  [[nodiscard]] double temperature_c() const noexcept { return temp_c_; }
+  /// Present (faded) capacity [Ah].
+  [[nodiscard]] double capacity_ah() const noexcept { return capacity_ah_; }
+  /// State of health: present capacity over nominal capacity, in (0,1].
+  [[nodiscard]] double state_of_health() const noexcept {
+    return capacity_ah_ / params_.capacity_ah;
+  }
+  /// Remaining charge [C].
+  [[nodiscard]] double charge_coulomb() const noexcept {
+    return soc_ * capacity_ah_ * 3600.0;
+  }
+  /// Total absolute charge throughput so far [Ah].
+  [[nodiscard]] double throughput_ah() const noexcept { return throughput_ah_; }
+  /// Total ohmic + polarization energy dissipated in the cell so far [J].
+  [[nodiscard]] double dissipated_j() const noexcept { return dissipated_j_; }
+  /// Model parameters.
+  [[nodiscard]] const CellParameters& params() const noexcept { return params_; }
+  /// OCV characteristic.
+  [[nodiscard]] const OcvCurve& ocv_curve() const noexcept { return *curve_; }
+
+ private:
+  CellParameters params_;
+  std::shared_ptr<const OcvCurve> curve_;  // shared across the cells of a pack
+  double soc_;
+  double capacity_ah_;
+  double v_rc1_ = 0.0;  // polarization branch voltages [V]
+  double v_rc2_ = 0.0;
+  double temp_c_;
+  double throughput_ah_ = 0.0;
+  double dissipated_j_ = 0.0;
+};
+
+}  // namespace ev::battery

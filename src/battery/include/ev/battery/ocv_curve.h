@@ -1,0 +1,44 @@
+/// \file ocv_curve.h
+/// Open-circuit-voltage vs state-of-charge characteristic of a Li-Ion cell.
+/// The OCV curve is the core nonlinearity of the equivalent-circuit cell
+/// model and the lookup the BMS observer inverts for SoC estimation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace ev::battery {
+
+/// Piecewise-linear OCV(SoC) map. Monotonically increasing in SoC, which
+/// makes the inverse lookup (SoC from rested terminal voltage) well defined.
+class OcvCurve {
+ public:
+  /// Constructs from (soc, volts) knots; soc values must be strictly
+  /// increasing and span [0, 1], and voltages must be non-decreasing.
+  explicit OcvCurve(std::vector<std::pair<double, double>> knots);
+
+  /// Open-circuit voltage at \p soc (clamped into [0,1]).
+  [[nodiscard]] double voltage(double soc) const noexcept;
+
+  /// Inverse lookup: SoC whose open-circuit voltage equals \p volts
+  /// (clamped into the curve's voltage range).
+  [[nodiscard]] double soc(double volts) const noexcept;
+
+  /// Lowest voltage on the curve (SoC = 0).
+  [[nodiscard]] double min_voltage() const noexcept { return knots_.front().second; }
+  /// Highest voltage on the curve (SoC = 1).
+  [[nodiscard]] double max_voltage() const noexcept { return knots_.back().second; }
+
+  /// Typical NMC (LiNiMnCoO2) chemistry: 3.0 V empty to 4.2 V full with the
+  /// characteristic mid-range slope.
+  [[nodiscard]] static OcvCurve nmc();
+
+  /// Typical LFP (LiFePO4) chemistry: very flat 3.2-3.3 V plateau, which is
+  /// what makes voltage-based SoC estimation hard on LFP packs.
+  [[nodiscard]] static OcvCurve lfp();
+
+ private:
+  std::vector<std::pair<double, double>> knots_;
+};
+
+}  // namespace ev::battery

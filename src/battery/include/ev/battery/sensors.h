@@ -1,0 +1,55 @@
+/// \file sensors.h
+/// Measurement-chain models. The BMS never sees simulation ground truth: it
+/// observes cell voltages, temperatures, and the pack current through these
+/// noisy, biased sensors, which is what makes SoC *estimation* (rather than
+/// lookup) a real problem.
+#pragma once
+
+#include "ev/util/rng.h"
+
+namespace ev::battery {
+
+/// Additive-Gaussian-noise-plus-bias sensor for a scalar quantity.
+class ScalarSensor {
+ public:
+  /// \p noise_sigma standard deviation and constant \p bias in the measured
+  /// quantity's unit; optional \p quantization step (0 disables).
+  explicit ScalarSensor(double noise_sigma = 0.0, double bias = 0.0,
+                        double quantization = 0.0) noexcept
+      : noise_sigma_(noise_sigma), bias_(bias), quantization_(quantization) {}
+
+  /// Produces a measurement of \p true_value using randomness from \p rng.
+  [[nodiscard]] double measure(double true_value, util::Rng& rng) const;
+
+  [[nodiscard]] double noise_sigma() const noexcept { return noise_sigma_; }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+
+ private:
+  double noise_sigma_;
+  double bias_;
+  double quantization_;
+};
+
+/// Cell voltage sensor: typical BMS front-end, ~1 mV noise, 1 mV LSB.
+class VoltageSensor : public ScalarSensor {
+ public:
+  explicit VoltageSensor(double noise_sigma = 1e-3, double bias = 0.0) noexcept
+      : ScalarSensor(noise_sigma, bias, 1e-3) {}
+};
+
+/// Pack current sensor: shunt/hall hybrid, ~0.1 A noise plus a small bias —
+/// the bias is what makes pure coulomb counting drift over time.
+class CurrentSensor : public ScalarSensor {
+ public:
+  explicit CurrentSensor(double noise_sigma = 0.1, double bias = 0.05) noexcept
+      : ScalarSensor(noise_sigma, bias, 0.01) {}
+};
+
+/// Cell temperature sensor (NTC): ~0.2 K noise.
+class TemperatureSensor : public ScalarSensor {
+ public:
+  explicit TemperatureSensor(double noise_sigma = 0.2, double bias = 0.0) noexcept
+      : ScalarSensor(noise_sigma, bias, 0.1) {}
+};
+
+}  // namespace ev::battery

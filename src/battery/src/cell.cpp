@@ -1,0 +1,73 @@
+#include "ev/battery/cell.h"
+
+#include <cmath>
+
+#include "ev/util/math.h"
+
+namespace ev::battery {
+
+Cell::Cell(CellParameters params, OcvCurve curve, double initial_soc, double initial_temp_c)
+    : params_(params),
+      curve_(std::make_shared<const OcvCurve>(std::move(curve))),
+      soc_(util::clamp(initial_soc, 0.0, 1.0)),
+      capacity_ah_(params.capacity_ah),
+      temp_c_(initial_temp_c) {}
+
+double Cell::open_circuit_voltage() const noexcept { return curve_->voltage(soc_); }
+
+double Cell::terminal_voltage(double current_a) const noexcept {
+  // Discharge current drops voltage across R0 and drives the RC branches.
+  return open_circuit_voltage() - current_a * params_.r0_ohm - v_rc1_ - v_rc2_;
+}
+
+CellStatus Cell::step(double current_a, double dt_s, double ambient_c, double extra_heat_w) {
+  CellStatus status;
+
+  // --- Coulomb dynamics ---------------------------------------------------
+  const double dq = current_a * dt_s;  // coulombs removed (positive = discharge)
+  const double cap_c = capacity_ah_ * 3600.0;
+  soc_ = util::clamp(soc_ - dq / cap_c, 0.0, 1.0);
+  throughput_ah_ += std::fabs(dq) / 3600.0;
+
+  // --- Polarization branches (exact first-order update) -------------------
+  const double tau1 = params_.r1_ohm * params_.c1_farad;
+  const double tau2 = params_.r2_ohm * params_.c2_farad;
+  const double a1 = std::exp(-dt_s / tau1);
+  const double a2 = std::exp(-dt_s / tau2);
+  v_rc1_ = a1 * v_rc1_ + params_.r1_ohm * (1.0 - a1) * current_a;
+  v_rc2_ = a2 * v_rc2_ + params_.r2_ohm * (1.0 - a2) * current_a;
+
+  // --- Losses and thermal node ---------------------------------------------
+  const double p_ohmic = current_a * current_a * params_.r0_ohm;
+  const double p_polar = v_rc1_ * v_rc1_ / params_.r1_ohm + v_rc2_ * v_rc2_ / params_.r2_ohm;
+  const double p_loss = p_ohmic + p_polar;
+  dissipated_j_ += p_loss * dt_s;
+  const double p_cooling = (temp_c_ - ambient_c) / params_.thermal_resistance_k_per_w;
+  temp_c_ += (p_loss + extra_heat_w - p_cooling) / params_.thermal_capacity_j_per_k * dt_s;
+
+  // --- Ageing: throughput fade, amplified at voltage/temperature extremes --
+  double stress = 1.0;
+  if (soc_ > 0.9) stress += 2.0 * (soc_ - 0.9) * 10.0;        // high-voltage stress
+  if (soc_ < 0.1) stress += 2.0 * (0.1 - soc_) * 10.0;        // deep-discharge stress
+  if (temp_c_ > 40.0) stress += (temp_c_ - 40.0) / 10.0;      // Arrhenius-like
+  capacity_ah_ -= params_.capacity_ah * params_.fade_per_ah_throughput *
+                  (std::fabs(dq) / 3600.0) * stress;
+  capacity_ah_ = std::max(capacity_ah_, 0.5 * params_.capacity_ah);
+
+  // --- Safety envelope -----------------------------------------------------
+  const double v_term = terminal_voltage(current_a);
+  status.overvoltage = v_term > params_.max_voltage;
+  status.undervoltage = v_term < params_.min_voltage;
+  status.overtemperature = temp_c_ > params_.max_temperature_c;
+  status.thermal_runaway = temp_c_ > params_.runaway_temperature_c;
+  status.overcurrent = current_a > params_.max_discharge_current_a ||
+                       -current_a > params_.max_charge_current_a;
+  return status;
+}
+
+void Cell::inject_charge(double coulombs) noexcept {
+  const double cap_c = capacity_ah_ * 3600.0;
+  soc_ = util::clamp(soc_ + coulombs / cap_c, 0.0, 1.0);
+}
+
+}  // namespace ev::battery

@@ -1,0 +1,74 @@
+#include "ev/battery/ocv_curve.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ev/util/math.h"
+
+namespace ev::battery {
+
+OcvCurve::OcvCurve(std::vector<std::pair<double, double>> knots) : knots_(std::move(knots)) {
+  if (knots_.size() < 2) throw std::invalid_argument("OcvCurve: need at least two knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].first <= knots_[i - 1].first)
+      throw std::invalid_argument("OcvCurve: SoC knots must be strictly increasing");
+    if (knots_[i].second < knots_[i - 1].second)
+      throw std::invalid_argument("OcvCurve: voltage must be non-decreasing in SoC");
+  }
+  if (knots_.front().first != 0.0 || knots_.back().first != 1.0)
+    throw std::invalid_argument("OcvCurve: knots must span SoC [0, 1]");
+}
+
+double OcvCurve::voltage(double soc) const noexcept {
+  const double s = util::clamp(soc, 0.0, 1.0);
+  auto it = std::lower_bound(knots_.begin(), knots_.end(), s,
+                             [](const auto& k, double v) { return k.first < v; });
+  if (it == knots_.begin()) return it->second;
+  if (it == knots_.end()) return knots_.back().second;
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double t = (s - lo.first) / (hi.first - lo.first);
+  return util::lerp(lo.second, hi.second, t);
+}
+
+double OcvCurve::soc(double volts) const noexcept {
+  const double v = util::clamp(volts, min_voltage(), max_voltage());
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (v <= knots_[i].second) {
+      const auto& lo = knots_[i - 1];
+      const auto& hi = knots_[i];
+      if (hi.second == lo.second) return hi.first;  // flat plateau: take upper knot
+      const double t = (v - lo.second) / (hi.second - lo.second);
+      return util::lerp(lo.first, hi.first, t);
+    }
+  }
+  return 1.0;
+}
+
+OcvCurve OcvCurve::nmc() {
+  return OcvCurve({{0.00, 3.00},
+                   {0.05, 3.35},
+                   {0.10, 3.48},
+                   {0.20, 3.58},
+                   {0.30, 3.64},
+                   {0.40, 3.68},
+                   {0.50, 3.73},
+                   {0.60, 3.80},
+                   {0.70, 3.88},
+                   {0.80, 3.97},
+                   {0.90, 4.07},
+                   {1.00, 4.20}});
+}
+
+OcvCurve OcvCurve::lfp() {
+  return OcvCurve({{0.00, 2.50},
+                   {0.03, 3.10},
+                   {0.10, 3.20},
+                   {0.30, 3.25},
+                   {0.70, 3.30},
+                   {0.90, 3.33},
+                   {0.97, 3.38},
+                   {1.00, 3.60}});
+}
+
+}  // namespace ev::battery

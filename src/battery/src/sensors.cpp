@@ -1,0 +1,14 @@
+#include "ev/battery/sensors.h"
+
+#include <cmath>
+
+namespace ev::battery {
+
+double ScalarSensor::measure(double true_value, util::Rng& rng) const {
+  double v = true_value + bias_;
+  if (noise_sigma_ > 0.0) v += rng.normal(0.0, noise_sigma_);
+  if (quantization_ > 0.0) v = std::round(v / quantization_) * quantization_;
+  return v;
+}
+
+}  // namespace ev::battery

@@ -1,0 +1,83 @@
+/// \file balancing.h
+/// Cell-balancing policies. The paper contrasts state-of-the-art *passive*
+/// balancing (bleeding high cells over a resistor) with *active* balancing
+/// (transferring charge between cells), noting that the active approach
+/// avoids wasting energy and thereby extends driving range and battery
+/// lifetime; experiment E2 quantifies exactly that trade.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "ev/battery/module.h"
+
+namespace ev::bms {
+
+/// Interface of a per-module balancing policy. decide() receives the
+/// *estimated* cell SoCs (never ground truth) and actuates the module's
+/// balancing hardware.
+class BalancingStrategy {
+ public:
+  virtual ~BalancingStrategy() = default;
+
+  /// Inspects estimated SoCs and (re)commands the module's bleed switches
+  /// and/or active-transfer unit. \p pack_target_soc is the pack-wide
+  /// equalization target (the weakest cell's estimate) published by the
+  /// central battery manager; module-local policies use it so the whole
+  /// series string converges, not just each module internally.
+  virtual void decide(std::span<const double> estimated_soc,
+                      battery::SeriesModule& module, double pack_target_soc) = 0;
+
+  /// Human-readable policy name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True once every cell is within tolerance of the weakest cell and the
+  /// policy has released all actuators.
+  [[nodiscard]] virtual bool converged(std::span<const double> estimated_soc) const = 0;
+};
+
+/// No balancing at all (baseline; the pack capacity decays to the weakest
+/// cell's reach).
+class NoBalancer final : public BalancingStrategy {
+ public:
+  void decide(std::span<const double> estimated_soc, battery::SeriesModule& module,
+              double pack_target_soc) override;
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] bool converged(std::span<const double> estimated_soc) const override;
+};
+
+/// Passive balancing: engage the bleed resistor of every cell whose SoC
+/// exceeds the pack target by more than \p tolerance.
+class PassiveBalancer final : public BalancingStrategy {
+ public:
+  explicit PassiveBalancer(double tolerance = 0.003) noexcept : tolerance_(tolerance) {}
+
+  void decide(std::span<const double> estimated_soc, battery::SeriesModule& module,
+              double pack_target_soc) override;
+  [[nodiscard]] std::string name() const override { return "passive"; }
+  [[nodiscard]] bool converged(std::span<const double> estimated_soc) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// Active balancing: command the module's transfer unit to move charge from
+/// the fullest to the emptiest cell while the spread exceeds \p tolerance.
+class ActiveBalancer final : public BalancingStrategy {
+ public:
+  explicit ActiveBalancer(double tolerance = 0.003) noexcept : tolerance_(tolerance) {}
+
+  void decide(std::span<const double> estimated_soc, battery::SeriesModule& module,
+              double pack_target_soc) override;
+  [[nodiscard]] std::string name() const override { return "active"; }
+  [[nodiscard]] bool converged(std::span<const double> estimated_soc) const override;
+
+ private:
+  double tolerance_;
+};
+
+/// Max-min estimated SoC spread; helper shared by the policies.
+[[nodiscard]] double soc_spread(std::span<const double> estimated_soc) noexcept;
+
+}  // namespace ev::bms

@@ -1,0 +1,68 @@
+/// \file module_manager.h
+/// Module-management device of the hierarchical BMS (Fig. 2): the per-module
+/// controller that owns the cell sensor front-end, runs per-cell SoC
+/// estimation, and actuates the module's balancing hardware according to the
+/// configured policy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ev/battery/module.h"
+#include "ev/battery/sensors.h"
+#include "ev/bms/balancing.h"
+#include "ev/bms/soc_estimator.h"
+#include "ev/util/rng.h"
+
+namespace ev::bms {
+
+/// Which SoC estimator each cell runs.
+enum class EstimatorKind { kCoulombCounting, kVoltageCorrected };
+
+/// Per-module BMS controller. Holds no reference to the module; the module
+/// is passed to step() so the manager can be wired to any instance (and so
+/// ownership stays with the battery pack).
+class ModuleManager {
+ public:
+  /// Creates a manager for a module with \p cell_count cells whose believed
+  /// capacity is \p capacity_ah, starting every estimate at \p initial_soc.
+  ModuleManager(std::size_t cell_count, double capacity_ah, double initial_soc,
+                EstimatorKind estimator, std::shared_ptr<const battery::OcvCurve> curve,
+                double r0_ohm, std::unique_ptr<BalancingStrategy> strategy);
+
+  /// One BMS period: measure every cell through the sensors, update the
+  /// estimators with \p sensed_string_current_a, and run the balancing
+  /// policy on \p module against \p pack_target_soc (pass 1.0 / a local
+  /// value when no pack-wide target is known yet). Randomness for sensor
+  /// noise comes from \p rng.
+  void step(battery::SeriesModule& module, double sensed_string_current_a, double dt_s,
+            util::Rng& rng, double pack_target_soc = 1.0);
+
+  /// Estimated SoC per cell after the last step().
+  [[nodiscard]] const std::vector<double>& estimated_soc() const noexcept {
+    return estimates_;
+  }
+  /// Measured terminal voltages per cell after the last step() [V].
+  [[nodiscard]] const std::vector<double>& measured_voltages() const noexcept {
+    return voltages_;
+  }
+  /// Measured temperatures per cell after the last step() [degC].
+  [[nodiscard]] const std::vector<double>& measured_temperatures() const noexcept {
+    return temperatures_;
+  }
+  /// The balancing policy in force.
+  [[nodiscard]] const BalancingStrategy& strategy() const noexcept { return *strategy_; }
+  /// True when the policy reports the module balanced.
+  [[nodiscard]] bool balanced() const;
+
+ private:
+  std::vector<std::unique_ptr<SocEstimator>> estimators_;
+  std::vector<battery::VoltageSensor> voltage_sensors_;
+  std::vector<battery::TemperatureSensor> temperature_sensors_;
+  std::unique_ptr<BalancingStrategy> strategy_;
+  std::vector<double> estimates_;
+  std::vector<double> voltages_;
+  std::vector<double> temperatures_;
+};
+
+}  // namespace ev::bms

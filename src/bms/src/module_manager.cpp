@@ -1,0 +1,59 @@
+#include "ev/bms/module_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ev::bms {
+
+ModuleManager::ModuleManager(std::size_t cell_count, double capacity_ah, double initial_soc,
+                             EstimatorKind estimator,
+                             std::shared_ptr<const battery::OcvCurve> curve, double r0_ohm,
+                             std::unique_ptr<BalancingStrategy> strategy)
+    : strategy_(std::move(strategy)) {
+  if (cell_count == 0) throw std::invalid_argument("ModuleManager: cell_count must be > 0");
+  if (!strategy_) throw std::invalid_argument("ModuleManager: strategy is null");
+  estimators_.reserve(cell_count);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    switch (estimator) {
+      case EstimatorKind::kCoulombCounting:
+        estimators_.push_back(
+            std::make_unique<CoulombCountingEstimator>(capacity_ah, initial_soc));
+        break;
+      case EstimatorKind::kVoltageCorrected:
+        if (!curve)
+          throw std::invalid_argument("ModuleManager: voltage-corrected needs an OCV curve");
+        estimators_.push_back(std::make_unique<VoltageCorrectedEstimator>(
+            capacity_ah, initial_soc, curve, r0_ohm));
+        break;
+    }
+    voltage_sensors_.emplace_back();
+    temperature_sensors_.emplace_back();
+  }
+  estimates_.assign(cell_count, initial_soc);
+  voltages_.assign(cell_count, 0.0);
+  temperatures_.assign(cell_count, 25.0);
+}
+
+void ModuleManager::step(battery::SeriesModule& module, double sensed_string_current_a,
+                         double dt_s, util::Rng& rng, double pack_target_soc) {
+  const std::size_t n = std::min(estimators_.size(), module.cell_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v_true = module.cell(i).terminal_voltage(sensed_string_current_a);
+    const double t_true = module.cell(i).temperature_c();
+    voltages_[i] = voltage_sensors_[i].measure(v_true, rng);
+    temperatures_[i] = temperature_sensors_[i].measure(t_true, rng);
+    // The manager knows its own actuator state, so it corrects the cell
+    // current for an engaged bleed resistor.
+    double cell_current = sensed_string_current_a;
+    if (module.bleed_engaged(i))
+      cell_current += voltages_[i] / module.hardware().bleed_resistor_ohm;
+    estimators_[i]->update(cell_current, voltages_[i], dt_s);
+    estimates_[i] = estimators_[i]->soc();
+  }
+  const double local_min = *std::min_element(estimates_.begin(), estimates_.end());
+  strategy_->decide(estimates_, module, std::min(pack_target_soc, local_min));
+}
+
+bool ModuleManager::balanced() const { return strategy_->converged(estimates_); }
+
+}  // namespace ev::bms

@@ -1,0 +1,51 @@
+#include "ev/bms/soc_estimator.h"
+
+#include <stdexcept>
+
+#include "ev/util/math.h"
+
+namespace ev::bms {
+
+CoulombCountingEstimator::CoulombCountingEstimator(double capacity_ah, double initial_soc)
+    : capacity_ah_(capacity_ah), soc_(util::clamp(initial_soc, 0.0, 1.0)) {
+  if (capacity_ah <= 0.0)
+    throw std::invalid_argument("CoulombCountingEstimator: capacity must be positive");
+}
+
+void CoulombCountingEstimator::update(double current_a, double /*voltage_v*/, double dt_s) {
+  soc_ = util::clamp(soc_ - current_a * dt_s / (capacity_ah_ * 3600.0), 0.0, 1.0);
+}
+
+void CoulombCountingEstimator::reset(double soc) noexcept {
+  soc_ = util::clamp(soc, 0.0, 1.0);
+}
+
+VoltageCorrectedEstimator::VoltageCorrectedEstimator(
+    double capacity_ah, double initial_soc,
+    std::shared_ptr<const battery::OcvCurve> curve, double r0_ohm, double gain)
+    : capacity_ah_(capacity_ah),
+      soc_(util::clamp(initial_soc, 0.0, 1.0)),
+      curve_(std::move(curve)),
+      r0_ohm_(r0_ohm),
+      gain_(gain) {
+  if (capacity_ah <= 0.0)
+    throw std::invalid_argument("VoltageCorrectedEstimator: capacity must be positive");
+  if (!curve_) throw std::invalid_argument("VoltageCorrectedEstimator: curve is null");
+}
+
+void VoltageCorrectedEstimator::update(double current_a, double voltage_v, double dt_s) {
+  // Prediction: coulomb counting.
+  soc_ -= current_a * dt_s / (capacity_ah_ * 3600.0);
+  // Correction: compare the OCV implied by the measurement with the OCV the
+  // estimate predicts, and inject the residual.
+  const double ocv_measured = voltage_v + current_a * r0_ohm_;
+  const double residual_v = ocv_measured - curve_->voltage(soc_);
+  soc_ += gain_ * residual_v * dt_s;
+  soc_ = util::clamp(soc_, 0.0, 1.0);
+}
+
+void VoltageCorrectedEstimator::reset(double soc) noexcept {
+  soc_ = util::clamp(soc, 0.0, 1.0);
+}
+
+}  // namespace ev::bms

@@ -1,0 +1,43 @@
+#include "ev/bywire/brake_system.h"
+
+#include <cmath>
+
+namespace ev::bywire {
+
+BrakeMissionReport simulate_brake_mission(const BrakeSystemConfig& config, double hours,
+                                          util::Rng& rng) {
+  RedundantChannelSet channels =
+      config.diverse ? make_diverse_redundancy(config.replicas, config.random_fault_rate,
+                                               config.systematic_fault_rate)
+                     : make_identical_redundancy(config.replicas, config.random_fault_rate,
+                                                 config.systematic_fault_rate);
+
+  const auto total_cycles =
+      static_cast<std::uint64_t>(hours * 3600.0 * config.cycle_rate_hz);
+  BrakeMissionReport report;
+
+  double pedal = 0.0;
+  for (std::uint64_t k = 0; k < total_cycles; ++k) {
+    // Stop-and-go pedal profile: occasional braking episodes.
+    if (pedal <= 0.0 && rng.bernoulli(0.002)) pedal = rng.uniform(0.2, 1.0);
+    if (pedal > 0.0) pedal = std::max(0.0, pedal - 0.01);
+
+    // Duplicated pedal sensing: both sensors must fail in the same cycle to
+    // corrupt the demand; model as a tiny squared probability folded in.
+    if (rng.bernoulli(config.sensor_fault_rate * config.sensor_fault_rate)) pedal = 1.0;
+
+    (void)channels.actuate(pedal, rng);
+  }
+
+  report.cycles = channels.cycles();
+  report.loss_of_function_cycles = channels.invalid_cycles();
+  report.wrong_output_cycles = channels.undetected_wrong_cycles();
+  report.availability =
+      1.0 - static_cast<double>(report.loss_of_function_cycles) /
+                static_cast<double>(std::max<std::uint64_t>(report.cycles, 1));
+  report.dangerous_rate_per_hour =
+      static_cast<double>(report.wrong_output_cycles) / std::max(hours, 1e-9);
+  return report;
+}
+
+}  // namespace ev::bywire

@@ -1,0 +1,96 @@
+/// \file architecture.h
+/// Electric/electronic architecture description model — the design object of
+/// the whole paper. A vehicle is a set of software *functions* exchanging
+/// *signals*, deployed onto *ECUs* attached to *buses*; the architecture
+/// style (federated one-function-per-ECU vs. integrated/consolidated) is a
+/// property of the deployment, and the evaluation module scores it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev::core {
+
+/// Vehicle domain a function belongs to (drives bus selection in the
+/// federated style, mirroring Fig. 1).
+enum class Domain { kChassis, kSafety, kComfort, kInfotainment, kBody };
+
+/// Name for reports.
+[[nodiscard]] std::string to_string(Domain domain);
+
+/// Automotive safety integrity level (coarse).
+enum class Criticality { kQm, kAsilB, kAsilD };
+
+/// One software function.
+struct FunctionSpec {
+  std::string name;
+  Domain domain = Domain::kComfort;
+  Criticality criticality = Criticality::kQm;
+  std::int64_t period_us = 20000;
+  std::int64_t wcet_us = 1000;  ///< On the reference single-core ECU.
+};
+
+/// A signal between two functions.
+struct SignalSpec {
+  std::string name;
+  std::size_t from = 0;  ///< Producer function index.
+  std::size_t to = 0;    ///< Consumer function index.
+  std::size_t bytes = 8;
+  std::int64_t period_us = 20000;
+};
+
+/// The functional network to deploy.
+struct FunctionNetwork {
+  std::vector<FunctionSpec> functions;
+  std::vector<SignalSpec> signals;
+};
+
+/// Bus technology of a deployed bus.
+enum class BusTech { kCan, kLin, kFlexRay, kMost, kEthernet };
+
+/// Name for reports.
+[[nodiscard]] std::string to_string(BusTech tech);
+
+/// Nominal bit rate of a technology [bit/s].
+[[nodiscard]] double bit_rate_of(BusTech tech) noexcept;
+
+/// Relative hardware cost of one bus controller/transceiver of a technology.
+[[nodiscard]] double controller_cost_of(BusTech tech) noexcept;
+
+/// A deployed ECU.
+struct EcuInstance {
+  std::string name;
+  std::size_t cores = 1;
+  double position_m = 0.0;   ///< Along the wiring trunk (vehicle length axis).
+  double unit_cost = 1.0;    ///< Relative hardware cost.
+  std::vector<std::size_t> hosted_functions;  ///< Function indices.
+};
+
+/// A deployed bus.
+struct BusInstance {
+  std::string name;
+  BusTech tech = BusTech::kCan;
+  std::vector<std::size_t> attached_ecus;  ///< ECU indices.
+};
+
+/// A complete deployment.
+struct Architecture {
+  std::string style;                ///< "federated" or "integrated" (or custom).
+  FunctionNetwork network;          ///< What is deployed.
+  std::vector<EcuInstance> ecus;
+  std::vector<BusInstance> buses;
+  std::size_t gateway_count = 0;
+
+  /// ECU hosting function \p f; throws if unmapped.
+  [[nodiscard]] std::size_t ecu_of(std::size_t f) const;
+  /// True when producer and consumer of \p s share an ECU.
+  [[nodiscard]] bool signal_is_local(const SignalSpec& s) const;
+};
+
+/// A representative compact-EV function network (~30 functions across all
+/// domains with realistic periods, WCETs, and signal fan-out). \p scale
+/// repeats the comfort/body tail to grow the system for sweeps.
+[[nodiscard]] FunctionNetwork reference_function_network(std::size_t scale = 1);
+
+}  // namespace ev::core

@@ -1,0 +1,40 @@
+/// \file evaluation.h
+/// Architecture evaluation: scores a deployment on the axes the paper
+/// argues about — ECU count, wiring, hardware cost, utilization
+/// (flexibility headroom), bus load, and end-to-end schedulability of the
+/// signal chains. Experiment E8 compares the federated and integrated
+/// styles on these metrics.
+#pragma once
+
+#include "ev/core/architecture.h"
+
+namespace ev::core {
+
+/// Evaluation output.
+struct ArchitectureMetrics {
+  std::size_t ecu_count = 0;
+  std::size_t bus_count = 0;
+  std::size_t gateway_count = 0;
+  double wiring_m = 0.0;          ///< Harness length (trunk + stubs).
+  double hardware_cost = 0.0;     ///< ECUs + bus controllers + gateways.
+  double mean_utilization = 0.0;  ///< Mean per-ECU compute utilization.
+  double max_utilization = 0.0;
+  std::size_t cross_ecu_signals = 0;  ///< Signals that need the network.
+  std::size_t local_signals = 0;      ///< Signals resolved in ECU memory.
+  double worst_bus_load = 0.0;        ///< Highest bus bandwidth utilization.
+  bool buses_feasible = true;         ///< All bus loads < 1.
+  double flexibility = 0.0;  ///< Spare utilization capacity (0..1) for new functions.
+};
+
+/// Evaluation assumptions.
+struct EvaluationOptions {
+  double stub_length_m = 0.8;      ///< Wire from an ECU to its bus trunk.
+  double gateway_cost = 5.0;       ///< Relative cost of a central gateway.
+  double interference_factor = 0.08;  ///< Must match the synthesis options.
+};
+
+/// Scores \p arch.
+[[nodiscard]] ArchitectureMetrics evaluate(const Architecture& arch,
+                                           const EvaluationOptions& options = {});
+
+}  // namespace ev::core

@@ -1,0 +1,37 @@
+/// \file synthesis.h
+/// Architecture synthesis: turns a function network into a deployed
+/// architecture in either of the two styles the paper contrasts —
+/// *federated* (one function per single-core ECU, heterogeneous per-domain
+/// buses joined by a central gateway: today's grown architecture, Fig. 1)
+/// or *integrated* (functions consolidated onto few multi-core ECUs behind
+/// one deterministic backbone: the paradigm shift of Section 3).
+#pragma once
+
+#include "ev/core/architecture.h"
+#include "ev/ecu/multicore.h"
+
+namespace ev::core {
+
+/// Knobs for the integrated style.
+struct IntegratedOptions {
+  std::size_t cores_per_ecu = 4;
+  double utilization_bound = 0.8;   ///< Per-core cap for placement.
+  double interference_factor = 0.08;
+  BusTech backbone = BusTech::kEthernet;
+  /// ASIL-D functions are never co-located on a core with QM functions
+  /// unless the middleware provides partitions; modelled as a flag that
+  /// relaxes the segregation constraint.
+  bool partitioned_middleware = true;
+};
+
+/// Builds the federated deployment: every function gets its own ECU on its
+/// domain's bus; domains are joined by a central gateway.
+[[nodiscard]] Architecture synthesize_federated(const FunctionNetwork& network);
+
+/// Builds the integrated deployment: consolidates functions onto as few
+/// multi-core ECUs as the utilization/segregation constraints allow, all on
+/// one backbone bus.
+[[nodiscard]] Architecture synthesize_integrated(const FunctionNetwork& network,
+                                                 const IntegratedOptions& options = {});
+
+}  // namespace ev::core

@@ -1,0 +1,133 @@
+#include "ev/core/cosim.h"
+
+#include <cstring>
+
+namespace ev::core {
+
+VehicleSystem::VehicleSystem(VehicleSystemConfig config) : config_(std::move(config)) {
+  config_.network.synthetic_bms_source = false;  // the real BMS publishes instead
+  config_.powertrain.dt_s = config_.control_period_s;
+  powertrain_ = std::make_unique<powertrain::PowertrainSimulation>(config_.powertrain);
+  network_ = std::make_unique<network::Figure1Network>(sim_, config_.network);
+  cockpit_ = std::make_unique<middleware::Middleware>(sim_, "cockpit-controller",
+                                                      config_.middleware_frame_us);
+}
+
+CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
+  CoSimResult result;
+
+  // --- Cockpit software: an HMI partition and an information partition -------
+  const std::size_t info_part = cockpit_->create_partition("information", 4000, 0);
+  const std::size_t hmi_part = cockpit_->create_partition("hmi", 8000, 0);
+
+  // Latest pack state as it arrives over the network (what the cockpit sees,
+  // not simulation ground truth).
+  struct CockpitView {
+    double soc = 0.0;
+    double usable_wh = 0.0;
+    bool fresh = false;
+  };
+  auto view = std::make_shared<CockpitView>();
+
+  // The information partition provides the range service from network data.
+  cockpit_->services().provide(
+      "range", &cockpit_->partition(info_part),
+      [this, view](const std::vector<std::uint8_t>&)
+          -> std::optional<std::vector<std::uint8_t>> {
+        if (!view->fresh) return std::nullopt;
+        const double km =
+            powertrain_->range_estimator().remaining_range_km(view->usable_wh);
+        std::vector<std::uint8_t> out(sizeof(double));
+        std::memcpy(out.data(), &km, sizeof(double));
+        return out;
+      });
+
+  // The HMI partition polls the range service every period.
+  double last_range_km = 0.0;
+  std::size_t range_calls = 0;
+  cockpit_->deploy(hmi_part, middleware::Runnable{
+                                 "hmi-range-widget", 200000, 1500,
+                                 [this, &last_range_km, &range_calls] {
+                                   const auto resp =
+                                       cockpit_->services().call("range", {});
+                                   if (resp.status == middleware::CallStatus::kOk &&
+                                       resp.payload.size() >= sizeof(double)) {
+                                     std::memcpy(&last_range_km, resp.payload.data(),
+                                                 sizeof(double));
+                                     ++range_calls;
+                                   }
+                                   return middleware::RunOutcome::kOk;
+                                 }});
+
+  // --- Infotainment domain receives the forwarded BMS frames -----------------
+  std::size_t bms_at_hmi = 0;
+  double latency_sum_ms = 0.0;
+  network_->infotainment_most().subscribe(
+      [&bms_at_hmi, &latency_sum_ms, view](const network::Frame& f, sim::Time at) {
+        if (f.id != network::kFrameIdBmsOnMost) return;
+        ++bms_at_hmi;
+        latency_sum_ms += (at - f.created).to_ms();
+        if (f.payload.size() >= 2 * sizeof(double)) {
+          std::memcpy(&view->soc, f.payload.data(), sizeof(double));
+          std::memcpy(&view->usable_wh, f.payload.data() + sizeof(double), sizeof(double));
+          view->fresh = true;
+        }
+      });
+
+  // --- Periodic processes ------------------------------------------------------
+  network_->start();
+  cockpit_->start();
+
+  // Powertrain stepping.
+  const double t_end = cycle.duration_s();
+  double local_t = 0.0;
+  const sim::EventId step_ev = sim_.schedule_periodic(
+      sim::Time{}, sim::Time::seconds(config_.control_period_s), [this, &cycle, &local_t] {
+        (void)powertrain_->step(cycle.speed_at(local_t));
+        local_t += config_.control_period_s;
+      });
+
+  // BMS publication onto the chassis FlexRay (payload: soc, usable Wh).
+  std::size_t published = 0;
+  const sim::EventId publish_ev = sim_.schedule_periodic(
+      sim::Time::seconds(config_.bms_publish_period_s),
+                         sim::Time::seconds(config_.bms_publish_period_s),
+                         [this, &published] {
+                           network::Frame f;
+                           f.id = network::kFrameIdBmsStatus;
+                           f.source = 6;
+                           f.payload.resize(2 * sizeof(double));
+                           const double soc = powertrain_->bms().report().pack_soc;
+                           const double wh = powertrain_->pack().usable_energy_wh();
+                           std::memcpy(f.payload.data(), &soc, sizeof(double));
+                           std::memcpy(f.payload.data() + sizeof(double), &wh,
+                                       sizeof(double));
+                           f.payload_size = f.payload.size();
+                           if (network_->chassis_flexray().send(std::move(f))) ++published;
+                         });
+
+  sim_.run_until(sim::Time::seconds(t_end));
+  // Cancel this run's periodic events: their lambdas capture locals of this
+  // frame and must never fire after return.
+  (void)sim_.cancel(step_ev);
+  (void)sim_.cancel(publish_ev);
+
+  // Harvest the powertrain ledger (the powertrain stepped inside events, so
+  // its internal ledger covers exactly this cycle).
+  result.cycle = powertrain_->ledger();
+  result.cycle.distance_km = powertrain_->vehicle().distance_m() / 1000.0;
+  result.cycle.duration_s = powertrain_->time_s();
+  result.cycle.final_soc = powertrain_->pack().mean_soc();
+  const double net_wh =
+      result.cycle.battery_energy_out_wh - result.cycle.battery_energy_in_wh;
+  result.cycle.consumption_wh_km =
+      result.cycle.distance_km > 0.01 ? net_wh / result.cycle.distance_km : 0.0;
+  result.bms_frames_published = published;
+  result.bms_frames_at_hmi = bms_at_hmi;
+  result.bms_to_hmi_latency_ms = bms_at_hmi > 0 ? latency_sum_ms / static_cast<double>(bms_at_hmi) : 0.0;
+  result.range_service_calls = range_calls;
+  result.last_range_km = last_range_km;
+  return result;
+}
+
+}  // namespace ev::core

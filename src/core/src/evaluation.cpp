@@ -1,0 +1,84 @@
+#include "ev/core/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ev::core {
+
+ArchitectureMetrics evaluate(const Architecture& arch, const EvaluationOptions& options) {
+  ArchitectureMetrics m;
+  m.ecu_count = arch.ecus.size();
+  m.bus_count = arch.buses.size();
+  m.gateway_count = arch.gateway_count;
+
+  // --- Wiring: per bus, a trunk spanning its ECU positions plus one stub per
+  // attachment; gateways sit at the trunk ends (position 0).
+  for (const BusInstance& bus : arch.buses) {
+    if (bus.attached_ecus.empty()) continue;
+    double lo = 1e9;
+    double hi = -1e9;
+    for (std::size_t e : bus.attached_ecus) {
+      lo = std::min(lo, arch.ecus[e].position_m);
+      hi = std::max(hi, arch.ecus[e].position_m);
+    }
+    m.wiring_m += (hi - lo) + options.stub_length_m * static_cast<double>(bus.attached_ecus.size());
+    if (arch.gateway_count > 0) m.wiring_m += lo;  // trunk run to the central gateway
+  }
+
+  // --- Hardware cost: ECUs + one bus controller per attachment + gateways.
+  for (const EcuInstance& ecu : arch.ecus) m.hardware_cost += ecu.unit_cost;
+  for (const BusInstance& bus : arch.buses)
+    m.hardware_cost +=
+        controller_cost_of(bus.tech) * static_cast<double>(bus.attached_ecus.size());
+  m.hardware_cost += options.gateway_cost * static_cast<double>(arch.gateway_count);
+
+  // --- Compute utilization per ECU (interference-inflated on multi-core).
+  double util_sum = 0.0;
+  for (const EcuInstance& ecu : arch.ecus) {
+    const double inflate =
+        ecu.cores > 1
+            ? 1.0 + options.interference_factor * static_cast<double>(ecu.cores - 1)
+            : 1.0;
+    double demand = 0.0;
+    for (std::size_t f : ecu.hosted_functions) {
+      const FunctionSpec& fun = arch.network.functions[f];
+      demand += static_cast<double>(fun.wcet_us) * inflate / static_cast<double>(fun.period_us);
+    }
+    const double u = demand / static_cast<double>(ecu.cores);
+    util_sum += u;
+    m.max_utilization = std::max(m.max_utilization, u);
+  }
+  m.mean_utilization = arch.ecus.empty() ? 0.0 : util_sum / static_cast<double>(arch.ecus.size());
+  m.flexibility = std::max(0.0, 1.0 - m.mean_utilization);
+
+  // --- Signals: local vs. networked, and per-bus load.
+  std::vector<double> bus_load(arch.buses.size(), 0.0);
+  auto bus_of_ecu = [&](std::size_t e) -> std::size_t {
+    for (std::size_t b = 0; b < arch.buses.size(); ++b)
+      for (std::size_t a : arch.buses[b].attached_ecus)
+        if (a == e) return b;
+    return arch.buses.size();  // unattached (should not happen)
+  };
+  for (const SignalSpec& s : arch.network.signals) {
+    if (arch.signal_is_local(s)) {
+      ++m.local_signals;
+      continue;
+    }
+    ++m.cross_ecu_signals;
+    // Frame overhead factor ~2 for small payloads (headers, stuffing).
+    const double bits = static_cast<double>(s.bytes) * 8.0 * 2.0;
+    const double rate = bits / (static_cast<double>(s.period_us) * 1e-6);
+    const std::size_t src_bus = bus_of_ecu(arch.ecu_of(s.from));
+    const std::size_t dst_bus = bus_of_ecu(arch.ecu_of(s.to));
+    if (src_bus < bus_load.size()) bus_load[src_bus] += rate;
+    if (dst_bus != src_bus && dst_bus < bus_load.size()) bus_load[dst_bus] += rate;
+  }
+  for (std::size_t b = 0; b < arch.buses.size(); ++b) {
+    const double load = bus_load[b] / bit_rate_of(arch.buses[b].tech);
+    m.worst_bus_load = std::max(m.worst_bus_load, load);
+    if (load >= 1.0) m.buses_feasible = false;
+  }
+  return m;
+}
+
+}  // namespace ev::core

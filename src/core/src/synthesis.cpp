@@ -1,0 +1,147 @@
+#include "ev/core/synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace ev::core {
+
+namespace {
+
+/// Deterministic trunk position per domain (meters along the harness spine);
+/// federated ECUs spread around their domain anchor.
+double domain_anchor_m(Domain d) {
+  switch (d) {
+    case Domain::kChassis: return 0.8;
+    case Domain::kSafety: return 1.4;
+    case Domain::kComfort: return 2.2;
+    case Domain::kInfotainment: return 1.8;
+    case Domain::kBody: return 3.0;
+  }
+  return 2.0;
+}
+
+BusTech domain_bus_tech(Domain d) {
+  switch (d) {
+    case Domain::kChassis: return BusTech::kFlexRay;
+    case Domain::kSafety: return BusTech::kCan;
+    case Domain::kComfort: return BusTech::kCan;
+    case Domain::kInfotainment: return BusTech::kMost;
+    case Domain::kBody: return BusTech::kLin;
+  }
+  return BusTech::kCan;
+}
+
+}  // namespace
+
+Architecture synthesize_federated(const FunctionNetwork& network) {
+  Architecture arch;
+  arch.style = "federated";
+  arch.network = network;
+
+  std::map<Domain, std::size_t> bus_of_domain;
+  for (std::size_t f = 0; f < network.functions.size(); ++f) {
+    const FunctionSpec& fun = network.functions[f];
+    // One single-core ECU per function, spread around the domain anchor.
+    EcuInstance ecu;
+    ecu.name = "ecu-" + fun.name;
+    ecu.cores = 1;
+    ecu.unit_cost = 1.0;
+    const double spread = 0.15 * static_cast<double>(f % 5);
+    ecu.position_m = domain_anchor_m(fun.domain) + spread;
+    ecu.hosted_functions = {f};
+    arch.ecus.push_back(std::move(ecu));
+
+    const Domain d = fun.domain;
+    if (!bus_of_domain.contains(d)) {
+      BusInstance bus;
+      bus.name = to_string(d) + "-bus";
+      bus.tech = domain_bus_tech(d);
+      bus_of_domain[d] = arch.buses.size();
+      arch.buses.push_back(std::move(bus));
+    }
+    arch.buses[bus_of_domain[d]].attached_ecus.push_back(arch.ecus.size() - 1);
+  }
+  arch.gateway_count = 1;  // central gateway joining the domain buses
+  return arch;
+}
+
+Architecture synthesize_integrated(const FunctionNetwork& network,
+                                   const IntegratedOptions& options) {
+  Architecture arch;
+  arch.style = "integrated";
+  arch.network = network;
+
+  // Segregation classes: without partitioned middleware, ASIL-D and QM
+  // software may not share an ECU, forcing more boxes.
+  auto segregation_class = [&](const FunctionSpec& f) {
+    if (options.partitioned_middleware) return 0;
+    return f.criticality == Criticality::kAsilD ? 1 : 2;
+  };
+
+  // First-fit decreasing per segregation class onto multi-core ECUs.
+  std::vector<std::size_t> order(network.functions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& fa = network.functions[a];
+    const auto& fb = network.functions[b];
+    const double ua = static_cast<double>(fa.wcet_us) / static_cast<double>(fa.period_us);
+    const double ub = static_cast<double>(fb.wcet_us) / static_cast<double>(fb.period_us);
+    return ua > ub;
+  });
+
+  struct OpenEcu {
+    int seg_class;
+    std::vector<double> core_u;
+    std::size_t index;
+  };
+  std::vector<OpenEcu> open;
+  const double inflate =
+      1.0 + options.interference_factor * static_cast<double>(options.cores_per_ecu - 1);
+
+  for (std::size_t f : order) {
+    const FunctionSpec& fun = network.functions[f];
+    const double u = static_cast<double>(fun.wcet_us) * inflate /
+                     static_cast<double>(fun.period_us);
+    const int seg = segregation_class(fun);
+    bool placed = false;
+    for (OpenEcu& e : open) {
+      if (e.seg_class != seg) continue;
+      for (double& cu : e.core_u) {
+        if (cu + u <= options.utilization_bound) {
+          cu += u;
+          arch.ecus[e.index].hosted_functions.push_back(f);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+    if (!placed) {
+      EcuInstance ecu;
+      ecu.name = "domain-controller-" + std::to_string(arch.ecus.size());
+      ecu.cores = options.cores_per_ecu;
+      ecu.unit_cost = 3.5;  // a multi-core domain controller costs more per box
+      ecu.position_m = 1.0 + 0.6 * static_cast<double>(arch.ecus.size());
+      ecu.hosted_functions = {f};
+      arch.ecus.push_back(std::move(ecu));
+      OpenEcu oe;
+      oe.seg_class = seg;
+      oe.core_u.assign(options.cores_per_ecu, 0.0);
+      oe.core_u[0] = u;
+      oe.index = arch.ecus.size() - 1;
+      open.push_back(std::move(oe));
+    }
+  }
+
+  BusInstance backbone;
+  backbone.name = "backbone";
+  backbone.tech = options.backbone;
+  backbone.attached_ecus.resize(arch.ecus.size());
+  std::iota(backbone.attached_ecus.begin(), backbone.attached_ecus.end(), 0);
+  arch.buses.push_back(std::move(backbone));
+  arch.gateway_count = 0;  // homogeneous network needs no protocol gateways
+  return arch;
+}
+
+}  // namespace ev::core

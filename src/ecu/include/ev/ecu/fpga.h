@@ -1,0 +1,59 @@
+/// \file fpga.h
+/// FPGA computing platform with partial reconfiguration ([25],[26]): the
+/// fabric hosts isolated modules in reconfigurable regions; a fault in one
+/// region is recovered by reconfiguring that region alone while a redundant
+/// low-spec mode covers the gap. Compared against full-device
+/// reconfiguration, spare-ECU failover, and dual-hardware redundancy in
+/// experiment E12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ev/util/rng.h"
+
+namespace ev::ecu {
+
+/// How a faulted compute module is brought back.
+enum class RecoveryStrategy {
+  kPartialReconfiguration,  ///< Reconfigure only the faulty region.
+  kFullReconfiguration,     ///< Reprogram the whole device (all modules stop).
+  kEcuFailover,             ///< Reboot the function on a spare ECU.
+  kDualHardware,            ///< Hot standby: instant switchover, 2x hardware.
+};
+
+/// Name for reports.
+[[nodiscard]] std::string to_string(RecoveryStrategy strategy);
+
+/// Fabric and environment parameters.
+struct FpgaConfig {
+  std::size_t region_count = 6;        ///< Reconfigurable regions (one module each).
+  double region_bitstream_kb = 300.0;  ///< Partial bitstream per region.
+  double config_throughput_kb_per_ms = 400.0;  ///< ICAP-class configuration port.
+  double full_bitstream_kb = 3800.0;   ///< Whole-device bitstream.
+  double ecu_reboot_s = 2.5;           ///< Spare ECU boot + application start.
+  double switchover_s = 0.2e-3;        ///< Hot-standby switch + state sync.
+  double fault_rate_per_hour = 2.0;    ///< Transient (SEU-class) faults, whole device.
+};
+
+/// Outcome of a mission simulation.
+struct RecoveryReport {
+  RecoveryStrategy strategy{};
+  std::size_t faults = 0;
+  double downtime_s = 0.0;          ///< Sum of per-fault outage of the affected function.
+  double system_downtime_s = 0.0;   ///< Outage of *unaffected* functions (isolation).
+  double availability = 1.0;        ///< 1 - affected downtime / mission.
+  double hardware_overhead = 0.0;   ///< Extra hardware vs. a single plain device.
+};
+
+/// Per-fault recovery time of \p strategy under \p config [s].
+[[nodiscard]] double recovery_time_s(const FpgaConfig& config, RecoveryStrategy strategy);
+
+/// Simulates \p mission_s of operation with Poisson faults and returns the
+/// availability ledger for \p strategy.
+[[nodiscard]] RecoveryReport simulate_mission(const FpgaConfig& config,
+                                              RecoveryStrategy strategy, double mission_s,
+                                              util::Rng& rng);
+
+}  // namespace ev::ecu

@@ -1,0 +1,66 @@
+/// \file multicore.h
+/// Multi-core ECU model (Section 3.2): partitioned assignment of
+/// time-triggered task sets onto cores, with a shared-resource interference
+/// model (memory bus/cache contention inflates WCETs as more cores are
+/// active). Used by experiment E13 to measure how many functions one
+/// consolidated ECU hosts as the core count grows — and where interference
+/// saturates the gain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ev/scheduling/response_time.h"
+
+namespace ev::ecu {
+
+/// A hosted software function (maps to one task here).
+struct HostedFunction {
+  std::string name;
+  std::int64_t period_us = 10000;
+  std::int64_t wcet_us = 500;  ///< Isolated (single-core) WCET.
+};
+
+/// Multi-core platform parameters.
+struct MulticoreConfig {
+  std::size_t core_count = 4;
+  /// WCET inflation per *additional* active core, from shared memory/bus
+  /// contention: effective = isolated * (1 + factor * (active_cores - 1)).
+  double interference_factor = 0.08;
+  /// Maximum admissible per-core utilization (time-triggered, non-preemptive
+  /// tables do not pack to 100%).
+  double utilization_bound = 0.8;
+};
+
+/// Result of partitioned assignment.
+struct PlacementResult {
+  bool all_placed = false;
+  std::vector<int> core_of;          ///< Core index per function, -1 = rejected.
+  std::vector<double> core_utilization;  ///< Effective utilization per core.
+  std::size_t placed_count = 0;
+};
+
+/// Partitioned first-fit-decreasing placement under the interference model.
+class MulticoreEcu {
+ public:
+  explicit MulticoreEcu(MulticoreConfig config = {}) noexcept : config_(config) {}
+
+  /// Attempts to place every function; interference is computed against the
+  /// number of cores that end up non-empty (fixed point: placement is
+  /// re-validated at the final interference level).
+  [[nodiscard]] PlacementResult place(const std::vector<HostedFunction>& functions) const;
+
+  /// Greedy capacity probe: how many of \p functions (taken in order) fit.
+  [[nodiscard]] std::size_t capacity(const std::vector<HostedFunction>& functions) const;
+
+  [[nodiscard]] const MulticoreConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double effective_utilization(const HostedFunction& f,
+                                             std::size_t active_cores) const noexcept;
+
+  MulticoreConfig config_;
+};
+
+}  // namespace ev::ecu

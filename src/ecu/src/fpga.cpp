@@ -1,0 +1,62 @@
+#include "ev/ecu/fpga.h"
+
+namespace ev::ecu {
+
+std::string to_string(RecoveryStrategy strategy) {
+  switch (strategy) {
+    case RecoveryStrategy::kPartialReconfiguration: return "partial-reconfig";
+    case RecoveryStrategy::kFullReconfiguration: return "full-reconfig";
+    case RecoveryStrategy::kEcuFailover: return "ECU-failover";
+    case RecoveryStrategy::kDualHardware: return "dual-hardware";
+  }
+  return "?";
+}
+
+double recovery_time_s(const FpgaConfig& config, RecoveryStrategy strategy) {
+  switch (strategy) {
+    case RecoveryStrategy::kPartialReconfiguration:
+      return config.region_bitstream_kb / config.config_throughput_kb_per_ms / 1000.0;
+    case RecoveryStrategy::kFullReconfiguration:
+      return config.full_bitstream_kb / config.config_throughput_kb_per_ms / 1000.0;
+    case RecoveryStrategy::kEcuFailover:
+      return config.ecu_reboot_s;
+    case RecoveryStrategy::kDualHardware:
+      return config.switchover_s;
+  }
+  return 0.0;
+}
+
+RecoveryReport simulate_mission(const FpgaConfig& config, RecoveryStrategy strategy,
+                                double mission_s, util::Rng& rng) {
+  RecoveryReport report;
+  report.strategy = strategy;
+  const double rate_per_s = config.fault_rate_per_hour / 3600.0;
+  const double per_fault = recovery_time_s(config, strategy);
+
+  double t = rate_per_s > 0.0 ? rng.exponential(rate_per_s) : mission_s + 1.0;
+  while (t < mission_s) {
+    ++report.faults;
+    report.downtime_s += per_fault;
+    // Isolation: full reconfiguration and ECU failover take down every
+    // module; partial reconfiguration and hot standby keep the others alive.
+    if (strategy == RecoveryStrategy::kFullReconfiguration ||
+        strategy == RecoveryStrategy::kEcuFailover)
+      report.system_downtime_s +=
+          per_fault * static_cast<double>(config.region_count - 1);
+    t += rng.exponential(rate_per_s);
+  }
+
+  report.availability = mission_s > 0.0 ? 1.0 - report.downtime_s / mission_s : 1.0;
+  switch (strategy) {
+    case RecoveryStrategy::kDualHardware: report.hardware_overhead = 1.0; break;
+    case RecoveryStrategy::kEcuFailover: report.hardware_overhead = 1.0; break;
+    case RecoveryStrategy::kPartialReconfiguration:
+      // One spare low-spec region hosting the degraded mode.
+      report.hardware_overhead = 1.0 / static_cast<double>(config.region_count);
+      break;
+    case RecoveryStrategy::kFullReconfiguration: report.hardware_overhead = 0.0; break;
+  }
+  return report;
+}
+
+}  // namespace ev::ecu

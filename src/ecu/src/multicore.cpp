@@ -1,0 +1,71 @@
+#include "ev/ecu/multicore.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ev::ecu {
+
+double MulticoreEcu::effective_utilization(const HostedFunction& f,
+                                           std::size_t active_cores) const noexcept {
+  const double inflate =
+      1.0 + config_.interference_factor * static_cast<double>(active_cores - 1);
+  return static_cast<double>(f.wcet_us) * inflate / static_cast<double>(f.period_us);
+}
+
+PlacementResult MulticoreEcu::place(const std::vector<HostedFunction>& functions) const {
+  PlacementResult result;
+  result.core_of.assign(functions.size(), -1);
+  result.core_utilization.assign(config_.core_count, 0.0);
+
+  // Sort by isolated utilization, largest first (first-fit decreasing).
+  std::vector<std::size_t> order(functions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ua = static_cast<double>(functions[a].wcet_us) / static_cast<double>(functions[a].period_us);
+    const double ub = static_cast<double>(functions[b].wcet_us) / static_cast<double>(functions[b].period_us);
+    return ua > ub;
+  });
+
+  // Pessimistic fixed point: assume all cores active for interference (the
+  // consolidated steady state), place, then report at that level.
+  const std::size_t active = config_.core_count;
+  for (std::size_t idx : order) {
+    const double u = effective_utilization(functions[idx], active);
+    int best = -1;
+    for (std::size_t c = 0; c < config_.core_count; ++c) {
+      if (result.core_utilization[c] + u <= config_.utilization_bound) {
+        best = static_cast<int>(c);
+        break;
+      }
+    }
+    if (best >= 0) {
+      result.core_of[idx] = best;
+      result.core_utilization[static_cast<std::size_t>(best)] += u;
+      ++result.placed_count;
+    }
+  }
+  result.all_placed = result.placed_count == functions.size();
+  return result;
+}
+
+std::size_t MulticoreEcu::capacity(const std::vector<HostedFunction>& functions) const {
+  std::vector<double> core_u(config_.core_count, 0.0);
+  const std::size_t active = config_.core_count;
+  std::size_t placed = 0;
+  for (const HostedFunction& f : functions) {
+    const double u = effective_utilization(f, active);
+    bool fitted = false;
+    for (double& cu : core_u) {
+      if (cu + u <= config_.utilization_bound) {
+        cu += u;
+        fitted = true;
+        break;
+      }
+    }
+    if (!fitted) break;  // in-order capacity probe stops at the first reject
+    ++placed;
+  }
+  return placed;
+}
+
+}  // namespace ev::ecu

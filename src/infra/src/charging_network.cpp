@@ -1,0 +1,219 @@
+#include "ev/infra/charging_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ev::infra {
+
+double distance_km(const Position& a, const Position& b) noexcept {
+  return std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+}
+
+std::string to_string(AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kNearestStation: return "nearest-station";
+    case AssignmentPolicy::kCoordinated: return "coordinated";
+  }
+  return "?";
+}
+
+ChargingNetwork::ChargingNetwork(const FleetConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  stations_.reserve(config.station_count);
+  for (std::size_t s = 0; s < config.station_count; ++s) {
+    Station st;
+    st.position = {rng.uniform(0.0, config.city_size_km),
+                   rng.uniform(0.0, config.city_size_km)};
+    st.slots = 2;
+    st.power_kw = 50.0;
+    stations_.push_back(st);
+  }
+  fleet_.reserve(config.vehicle_count);
+  for (std::size_t v = 0; v < config.vehicle_count; ++v) {
+    FleetVehicle veh;
+    veh.position = {rng.uniform(0.0, config.city_size_km),
+                    rng.uniform(0.0, config.city_size_km)};
+    veh.destination = {rng.uniform(0.0, config.city_size_km),
+                       rng.uniform(0.0, config.city_size_km)};
+    veh.soc = rng.uniform(0.3, 0.9);
+    fleet_.push_back(veh);
+  }
+}
+
+namespace {
+
+/// Runtime state per vehicle.
+enum class Mode { kDriving, kToStation, kQueued, kCharging, kStranded };
+
+struct VehicleState {
+  FleetVehicle v;
+  Mode mode = Mode::kDriving;
+  std::size_t station = 0;      ///< Target/occupied station when relevant.
+  double wait_min = 0.0;        ///< Accumulated queue wait for this visit.
+  double detour_km = 0.0;       ///< Extra distance of the current charge trip.
+  std::size_t trips = 0;
+};
+
+/// Moves \p pos toward \p target by \p step_km; returns remaining distance.
+double advance(Position* pos, const Position& target, double step_km) {
+  const double d = distance_km(*pos, target);
+  if (d <= step_km || d <= 1e-9) {
+    *pos = target;
+    return 0.0;
+  }
+  const double f = step_km / d;
+  pos->x_km += (target.x_km - pos->x_km) * f;
+  pos->y_km += (target.y_km - pos->y_km) * f;
+  return d - step_km;
+}
+
+}  // namespace
+
+FleetReport ChargingNetwork::run(AssignmentPolicy policy, double v2g_request_kw) {
+  util::Rng rng(config_.seed + 1);
+  FleetReport report;
+  report.policy = policy;
+
+  std::vector<VehicleState> vehicles;
+  vehicles.reserve(fleet_.size());
+  for (const FleetVehicle& v : fleet_) vehicles.push_back(VehicleState{v});
+  std::vector<std::size_t> occupied(stations_.size(), 0);
+
+  const double dt_h = config_.dt_s / 3600.0;
+  const auto steps = static_cast<std::size_t>(config_.sim_hours * 3600.0 / config_.dt_s);
+  double busy_slot_steps = 0.0;
+  double total_slot_steps = 0.0;
+  std::vector<double> waits_min;
+  std::vector<double> detours_km;
+
+  auto pick_station = [&](const VehicleState& vs) -> std::size_t {
+    std::size_t best = 0;
+    double best_cost = std::numeric_limits<double>::max();
+    for (std::size_t s = 0; s < stations_.size(); ++s) {
+      const double dist = distance_km(vs.v.position, stations_[s].position);
+      double cost = dist;
+      if (policy == AssignmentPolicy::kCoordinated) {
+        // The information system knows queue lengths and adds the expected
+        // wait converted into equivalent driving distance.
+        const double backlog =
+            occupied[s] > stations_[s].slots ? 0.0 : 0.0;  // slots tracked below
+        (void)backlog;
+        double queued_here = 0.0;
+        for (const VehicleState& other : vehicles)
+          if ((other.mode == Mode::kQueued || other.mode == Mode::kToStation) &&
+              other.station == s)
+            queued_here += 1.0;
+        const double in_service = static_cast<double>(occupied[s]);
+        const double expected_wait_h =
+            std::max(0.0, in_service + queued_here - static_cast<double>(stations_[s].slots)+ 1.0) *
+            0.4;  // ~0.4 h mean service time
+        cost = dist + expected_wait_h * vs.v.speed_kmh;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = s;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    total_slot_steps += static_cast<double>(stations_.size() * 2);
+    for (std::size_t s = 0; s < stations_.size(); ++s)
+      busy_slot_steps += static_cast<double>(occupied[s]);
+
+    // V2G: plugged-and-full vehicles serve the grid request round-robin.
+    if (v2g_request_kw > 0.0) {
+      double remaining_kw = v2g_request_kw;
+      for (VehicleState& vs : vehicles) {
+        if (remaining_kw <= 0.0) break;
+        if (vs.mode != Mode::kCharging) continue;
+        if (vs.v.soc <= config_.v2g_reserve_soc) continue;
+        const double feed_kw = std::min(remaining_kw, stations_[vs.station].power_kw);
+        vs.v.soc -= feed_kw * dt_h / vs.v.battery_kwh;
+        report.v2g_energy_kwh += feed_kw * dt_h;
+        remaining_kw -= feed_kw;
+      }
+    }
+
+    for (VehicleState& vs : vehicles) {
+      const double step_km = vs.v.speed_kmh * dt_h;
+      switch (vs.mode) {
+        case Mode::kStranded:
+          break;
+        case Mode::kDriving: {
+          const double before = distance_km(vs.v.position, vs.v.destination);
+          (void)before;
+          const double remaining = advance(&vs.v.position, vs.v.destination, step_km);
+          vs.v.soc -= step_km * vs.v.consumption_kwh_per_km / vs.v.battery_kwh;
+          if (vs.v.soc <= 0.0) {
+            vs.mode = Mode::kStranded;
+            ++report.stranded;
+            break;
+          }
+          if (remaining <= 1e-9) {
+            ++vs.trips;
+            ++report.trips_completed;
+            // New destination: the fleet keeps moving all day.
+            vs.v.destination = {rng.uniform(0.0, config_.city_size_km),
+                                rng.uniform(0.0, config_.city_size_km)};
+          } else if (vs.v.soc < config_.charge_threshold) {
+            vs.station = pick_station(vs);
+            vs.detour_km = distance_km(vs.v.position, stations_[vs.station].position);
+            vs.wait_min = 0.0;
+            vs.mode = Mode::kToStation;
+          }
+          break;
+        }
+        case Mode::kToStation: {
+          const double remaining =
+              advance(&vs.v.position, stations_[vs.station].position, step_km);
+          vs.v.soc -= step_km * vs.v.consumption_kwh_per_km / vs.v.battery_kwh;
+          if (vs.v.soc <= 0.0) {
+            vs.mode = Mode::kStranded;
+            ++report.stranded;
+            break;
+          }
+          if (remaining <= 1e-9) vs.mode = Mode::kQueued;
+          break;
+        }
+        case Mode::kQueued: {
+          if (occupied[vs.station] < stations_[vs.station].slots) {
+            ++occupied[vs.station];
+            vs.mode = Mode::kCharging;
+          } else {
+            vs.wait_min += config_.dt_s / 60.0;
+          }
+          break;
+        }
+        case Mode::kCharging: {
+          vs.v.soc += stations_[vs.station].power_kw * dt_h / vs.v.battery_kwh;
+          if (vs.v.soc >= config_.charge_target) {
+            vs.v.soc = config_.charge_target;
+            --occupied[vs.station];
+            waits_min.push_back(vs.wait_min);
+            detours_km.push_back(vs.detour_km);
+            vs.mode = Mode::kDriving;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  if (!waits_min.empty()) {
+    for (double w : waits_min) {
+      report.mean_wait_min += w / static_cast<double>(waits_min.size());
+      report.max_wait_min = std::max(report.max_wait_min, w);
+    }
+  }
+  if (!detours_km.empty())
+    for (double d : detours_km)
+      report.mean_detour_km += d / static_cast<double>(detours_km.size());
+  report.station_utilization =
+      total_slot_steps > 0.0 ? busy_slot_steps / total_slot_steps : 0.0;
+  return report;
+}
+
+}  // namespace ev::infra

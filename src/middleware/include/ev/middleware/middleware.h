@@ -1,0 +1,79 @@
+/// \file middleware.h
+/// The lean middleware runtime of Section 4.1: a time-triggered partition
+/// dispatcher (ARINC-653-style major frame) combined with the
+/// publish/subscribe plane and the SOA registry. It abstracts the
+/// underlying ECU: applications see topics, services, and periodic
+/// activation — never the hardware — which is what permits consolidating
+/// many functions onto few ECUs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ev/middleware/partition.h"
+#include "ev/middleware/pubsub.h"
+#include "ev/middleware/services.h"
+#include "ev/sim/simulator.h"
+
+namespace ev::middleware {
+
+/// One window of the major frame.
+struct FrameWindow {
+  std::size_t partition_index = 0;
+  std::int64_t offset_us = 0;    ///< Start within the major frame.
+  std::int64_t duration_us = 0;  ///< Window length (>= partition budget use).
+};
+
+/// Middleware runtime bound to one (possibly consolidated) ECU.
+class Middleware {
+ public:
+  /// \p major_frame_us is the dispatcher cycle length.
+  Middleware(sim::Simulator& sim, std::string ecu_name, std::int64_t major_frame_us);
+
+  /// Creates a partition with \p budget_us per major frame; returns its
+  /// index. The window is appended back-to-back after existing windows and
+  /// must fit in the major frame.
+  std::size_t create_partition(std::string name, std::int64_t budget_us,
+                               int criticality = 0);
+
+  /// Deploys \p runnable into partition \p index (allowed at runtime).
+  void deploy(std::size_t index, Runnable runnable);
+
+  /// Starts dispatching major frames on the simulator.
+  void start();
+
+  /// The pub/sub plane.
+  [[nodiscard]] PubSubBroker& broker() noexcept { return broker_; }
+  /// The SOA registry.
+  [[nodiscard]] ServiceRegistry& services() noexcept { return registry_; }
+  /// Partition access.
+  [[nodiscard]] Partition& partition(std::size_t index) { return *partitions_.at(index); }
+  [[nodiscard]] const Partition& partition(std::size_t index) const {
+    return *partitions_.at(index);
+  }
+  [[nodiscard]] std::size_t partition_count() const noexcept { return partitions_.size(); }
+  /// Configured windows.
+  [[nodiscard]] const std::vector<FrameWindow>& windows() const noexcept { return windows_; }
+  /// Major frames executed.
+  [[nodiscard]] std::uint64_t frames_run() const noexcept { return frames_; }
+  /// Unallocated time per major frame [us] (consolidation headroom).
+  [[nodiscard]] std::int64_t slack_us() const noexcept;
+  /// ECU name.
+  [[nodiscard]] const std::string& ecu_name() const noexcept { return name_; }
+
+ private:
+  void run_frame();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  std::int64_t major_frame_us_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<FrameWindow> windows_;
+  PubSubBroker broker_;
+  ServiceRegistry registry_;
+  std::uint64_t frames_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ev::middleware

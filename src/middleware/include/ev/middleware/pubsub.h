@@ -1,0 +1,61 @@
+/// \file pubsub.h
+/// Typed publish/subscribe signal plane of the middleware. Publications are
+/// buffered and flushed at deterministic points chosen by the dispatcher
+/// (end of each partition window), so communication timing is independent
+/// of *where* a subscriber runs — the location transparency that lets
+/// software tasks "be distributed in a more flexible way".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ev::middleware {
+
+/// Topic identifier.
+using TopicId = std::uint32_t;
+
+/// A published sample: raw bytes plus the publication timestamp [us].
+struct Sample {
+  std::vector<std::uint8_t> data;
+  std::int64_t published_us = 0;
+};
+
+/// Subscriber callback.
+using SampleHandler = std::function<void(const Sample&)>;
+
+/// Broker with deferred (deterministic) delivery.
+class PubSubBroker {
+ public:
+  /// Registers \p handler for \p topic. Subscriptions are persistent.
+  void subscribe(TopicId topic, SampleHandler handler);
+
+  /// Buffers \p data on \p topic at time \p now_us; delivered on flush().
+  void publish(TopicId topic, std::vector<std::uint8_t> data, std::int64_t now_us);
+
+  /// Delivers all buffered samples in publication order. Called by the
+  /// dispatcher at deterministic schedule points.
+  void flush();
+
+  /// Samples delivered so far.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Samples currently buffered.
+  [[nodiscard]] std::size_t backlog() const noexcept { return pending_.size(); }
+
+  /// Helpers to move doubles through the byte-oriented plane.
+  [[nodiscard]] static std::vector<std::uint8_t> encode_double(double value);
+  [[nodiscard]] static double decode_double(const Sample& sample);
+
+ private:
+  struct Pending {
+    TopicId topic;
+    Sample sample;
+  };
+  std::map<TopicId, std::vector<SampleHandler>> subscribers_;
+  std::vector<Pending> pending_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace ev::middleware

@@ -1,0 +1,64 @@
+/// \file services.h
+/// Service-oriented architecture layer ([16]): named request/response
+/// services with a registry, used for information and control services
+/// (range queries, charging-station lookups, feature activation). Services
+/// of a stopped partition answer with kUnavailable instead of propagating
+/// the failure — the isolation property of Section 4.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ev::middleware {
+
+class Partition;
+
+/// Service call status.
+enum class CallStatus {
+  kOk,
+  kUnknownService,
+  kUnavailable,  ///< Hosting partition is stopped.
+  kError,        ///< Handler reported failure.
+};
+
+/// A service response.
+struct ServiceResponse {
+  CallStatus status = CallStatus::kUnknownService;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Request handler: consumes a request payload, produces a response payload
+/// or nullopt for kError.
+using ServiceHandler =
+    std::function<std::optional<std::vector<std::uint8_t>>(const std::vector<std::uint8_t>&)>;
+
+/// Registry mapping service names to handlers hosted in partitions.
+class ServiceRegistry {
+ public:
+  /// Registers \p handler under \p name, hosted by \p host (may be null for
+  /// infrastructure services that are always available).
+  void provide(const std::string& name, const Partition* host, ServiceHandler handler);
+
+  /// Synchronous call. Availability is checked against the host partition's
+  /// health at call time.
+  [[nodiscard]] ServiceResponse call(const std::string& name,
+                                     const std::vector<std::uint8_t>& request) const;
+
+  /// True when \p name is registered (regardless of availability).
+  [[nodiscard]] bool has_service(const std::string& name) const noexcept;
+  /// Registered service names.
+  [[nodiscard]] std::vector<std::string> service_names() const;
+
+ private:
+  struct Entry {
+    const Partition* host;
+    ServiceHandler handler;
+  };
+  std::map<std::string, Entry> services_;
+};
+
+}  // namespace ev::middleware

@@ -1,0 +1,56 @@
+#include "ev/middleware/middleware.h"
+
+#include <stdexcept>
+
+namespace ev::middleware {
+
+Middleware::Middleware(sim::Simulator& sim, std::string ecu_name,
+                       std::int64_t major_frame_us)
+    : sim_(&sim), name_(std::move(ecu_name)), major_frame_us_(major_frame_us) {
+  if (major_frame_us <= 0)
+    throw std::invalid_argument("Middleware: major frame must be positive");
+}
+
+std::int64_t Middleware::slack_us() const noexcept {
+  std::int64_t used = 0;
+  for (const FrameWindow& w : windows_) used += w.duration_us;
+  return major_frame_us_ - used;
+}
+
+std::size_t Middleware::create_partition(std::string name, std::int64_t budget_us,
+                                         int criticality) {
+  if (budget_us > slack_us())
+    throw std::invalid_argument("Middleware: partition budget exceeds frame slack");
+  std::int64_t offset = 0;
+  for (const FrameWindow& w : windows_) offset += w.duration_us;
+  partitions_.push_back(std::make_unique<Partition>(std::move(name), budget_us, criticality));
+  windows_.push_back(FrameWindow{partitions_.size() - 1, offset, budget_us});
+  return partitions_.size() - 1;
+}
+
+void Middleware::deploy(std::size_t index, Runnable runnable) {
+  partitions_.at(index)->deploy(std::move(runnable));
+}
+
+void Middleware::start() {
+  if (started_) return;
+  started_ = true;
+  sim_->schedule_periodic(sim::Time{}, sim::Time::us(major_frame_us_),
+                          [this] { run_frame(); });
+}
+
+void Middleware::run_frame() {
+  const std::int64_t frame_start_us = sim_->now().to_us() >= 0
+                                          ? static_cast<std::int64_t>(sim_->now().to_us())
+                                          : 0;
+  for (const FrameWindow& w : windows_) {
+    Partition& p = *partitions_[w.partition_index];
+    (void)p.execute_window(frame_start_us + w.offset_us, w.duration_us);
+    // Deterministic communication point: publications of this window become
+    // visible before the next window starts.
+    broker_.flush();
+  }
+  ++frames_;
+}
+
+}  // namespace ev::middleware

@@ -1,0 +1,59 @@
+#include "ev/middleware/partition.h"
+
+#include <stdexcept>
+
+namespace ev::middleware {
+
+Partition::Partition(std::string name, std::int64_t budget_us, int criticality)
+    : name_(std::move(name)), budget_us_(budget_us), criticality_(criticality) {
+  if (budget_us <= 0) throw std::invalid_argument("Partition: budget must be positive");
+}
+
+void Partition::deploy(Runnable runnable) {
+  if (!runnable.body) throw std::invalid_argument("Partition: runnable has no body");
+  if (runnable.period_us <= 0 || runnable.wcet_us <= 0)
+    throw std::invalid_argument("Partition: period and wcet must be positive");
+  runnables_.push_back(std::move(runnable));
+  next_release_us_.push_back(0);
+}
+
+std::int64_t Partition::execute_window(std::int64_t now_us, std::int64_t window_us) {
+  if (health_ != PartitionHealth::kHealthy) return 0;
+  std::int64_t consumed = 0;
+  for (std::size_t i = 0; i < runnables_.size(); ++i) {
+    Runnable& r = runnables_[i];
+    if (next_release_us_[i] > now_us) continue;  // not due yet
+    if (consumed + r.wcet_us > window_us) {
+      // Budget exhausted: the job stays pending for the next window; the
+      // partition never borrows time from its neighbours.
+      ++jobs_deferred_;
+      continue;
+    }
+    const RunOutcome outcome = r.body();
+    next_release_us_[i] += r.period_us;
+    if (next_release_us_[i] <= now_us) next_release_us_[i] = now_us + r.period_us;
+    switch (outcome) {
+      case RunOutcome::kOk:
+        consumed += r.wcet_us;
+        ++jobs_completed_;
+        break;
+      case RunOutcome::kOverrun:
+        // The hypervisor preempts at the window boundary: the partition
+        // consumes its whole remaining window, then is stopped fail-silent.
+        consumed = window_us;
+        ++fault_count_;
+        health_ = PartitionHealth::kStopped;
+        break;
+      case RunOutcome::kCrash:
+        consumed += r.wcet_us;
+        ++fault_count_;
+        health_ = PartitionHealth::kStopped;
+        break;
+    }
+    if (health_ != PartitionHealth::kHealthy) break;
+  }
+  cpu_time_us_ += consumed;
+  return consumed;
+}
+
+}  // namespace ev::middleware

@@ -1,0 +1,47 @@
+#include "ev/middleware/pubsub.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ev::middleware {
+
+void PubSubBroker::subscribe(TopicId topic, SampleHandler handler) {
+  if (!handler) throw std::invalid_argument("PubSubBroker: null handler");
+  subscribers_[topic].push_back(std::move(handler));
+}
+
+void PubSubBroker::publish(TopicId topic, std::vector<std::uint8_t> data,
+                           std::int64_t now_us) {
+  pending_.push_back(Pending{topic, Sample{std::move(data), now_us}});
+}
+
+void PubSubBroker::flush() {
+  // Deliveries may trigger further publications; those wait for the next
+  // flush point (keeps delivery timing deterministic).
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  for (const Pending& p : batch) {
+    const auto it = subscribers_.find(p.topic);
+    if (it == subscribers_.end()) continue;
+    for (const auto& handler : it->second) {
+      handler(p.sample);
+      ++delivered_;
+    }
+  }
+}
+
+std::vector<std::uint8_t> PubSubBroker::encode_double(double value) {
+  std::vector<std::uint8_t> out(sizeof(double));
+  std::memcpy(out.data(), &value, sizeof(double));
+  return out;
+}
+
+double PubSubBroker::decode_double(const Sample& sample) {
+  if (sample.data.size() < sizeof(double))
+    throw std::invalid_argument("decode_double: sample too small");
+  double v = 0.0;
+  std::memcpy(&v, sample.data.data(), sizeof(double));
+  return v;
+}
+
+}  // namespace ev::middleware

@@ -1,0 +1,49 @@
+#include "ev/middleware/services.h"
+
+#include <stdexcept>
+
+#include "ev/middleware/partition.h"
+
+namespace ev::middleware {
+
+void ServiceRegistry::provide(const std::string& name, const Partition* host,
+                              ServiceHandler handler) {
+  if (!handler) throw std::invalid_argument("ServiceRegistry: null handler");
+  services_[name] = Entry{host, std::move(handler)};
+}
+
+ServiceResponse ServiceRegistry::call(const std::string& name,
+                                      const std::vector<std::uint8_t>& request) const {
+  ServiceResponse response;
+  const auto it = services_.find(name);
+  if (it == services_.end()) {
+    response.status = CallStatus::kUnknownService;
+    return response;
+  }
+  if (it->second.host != nullptr &&
+      it->second.host->health() != PartitionHealth::kHealthy) {
+    response.status = CallStatus::kUnavailable;
+    return response;
+  }
+  const auto result = it->second.handler(request);
+  if (!result) {
+    response.status = CallStatus::kError;
+    return response;
+  }
+  response.status = CallStatus::kOk;
+  response.payload = *result;
+  return response;
+}
+
+bool ServiceRegistry::has_service(const std::string& name) const noexcept {
+  return services_.contains(name);
+}
+
+std::vector<std::string> ServiceRegistry::service_names() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, entry] : services_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ev::middleware

@@ -1,0 +1,62 @@
+/// \file pmsm.h
+/// Permanent-magnet synchronous machine model in the rotor (dq) reference
+/// frame, with an abc-terminal interface for the switched inverter. The
+/// paper's Fig. 3 drives exactly this machine from a six-IGBT inverter.
+#pragma once
+
+#include "ev/motor/transforms.h"
+
+namespace ev::motor {
+
+/// Electrical and mechanical machine parameters. Defaults approximate a
+/// 80 kW-class EV traction PMSM.
+struct PmsmParameters {
+  double stator_resistance_ohm = 0.01;   ///< Rs.
+  double ld_henry = 0.3e-3;              ///< Direct-axis inductance.
+  double lq_henry = 0.45e-3;             ///< Quadrature-axis inductance.
+  double flux_linkage_wb = 0.12;         ///< Permanent-magnet flux linkage.
+  int pole_pairs = 4;                    ///< p.
+  double inertia_kg_m2 = 0.05;           ///< Rotor + reflected load inertia.
+  double friction_nm_s = 0.002;          ///< Viscous friction coefficient.
+};
+
+/// PMSM state advanced by fixed-step integration. Electrical angle theta_e
+/// wraps continuously; omega is mechanical.
+class Pmsm {
+ public:
+  explicit Pmsm(PmsmParameters params = {}) noexcept : params_(params) {}
+
+  /// Advances the machine by \p dt_s under stator voltage \p v (abc,
+  /// line-to-neutral) and shaft load torque \p load_torque_nm (positive
+  /// opposes motion).
+  void step(const Abc& v, double load_torque_nm, double dt_s) noexcept;
+
+  /// Phase currents at the terminals [A].
+  [[nodiscard]] Abc currents() const noexcept;
+  /// dq-frame currents [A].
+  [[nodiscard]] Dq currents_dq() const noexcept { return Dq{i_d_, i_q_}; }
+  /// Electromagnetic torque [Nm].
+  [[nodiscard]] double torque_nm() const noexcept;
+  /// Mechanical angular velocity [rad/s].
+  [[nodiscard]] double speed_rad_s() const noexcept { return omega_m_; }
+  /// Electrical rotor angle [rad], wrapped to [0, 2*pi).
+  [[nodiscard]] double electrical_angle() const noexcept { return theta_e_; }
+  /// Electrical angular velocity [rad/s].
+  [[nodiscard]] double electrical_speed() const noexcept {
+    return omega_m_ * params_.pole_pairs;
+  }
+  /// Machine parameters.
+  [[nodiscard]] const PmsmParameters& params() const noexcept { return params_; }
+
+  /// Forces the mechanical state (test/bench setup helper).
+  void set_speed(double omega_m_rad_s) noexcept { omega_m_ = omega_m_rad_s; }
+
+ private:
+  PmsmParameters params_;
+  double i_d_ = 0.0;
+  double i_q_ = 0.0;
+  double omega_m_ = 0.0;
+  double theta_e_ = 0.0;
+};
+
+}  // namespace ev::motor

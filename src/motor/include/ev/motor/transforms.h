@@ -1,0 +1,59 @@
+/// \file transforms.h
+/// Reference-frame transforms for three-phase machines: Clarke (abc ->
+/// stationary alpha-beta) and Park (alpha-beta -> rotating dq), both
+/// amplitude-invariant, plus their inverses. These are the coordinate
+/// changes field-oriented control is built on.
+#pragma once
+
+#include <cmath>
+
+namespace ev::motor {
+
+/// A three-phase quantity (currents or voltages), phases a, b, c.
+struct Abc {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+/// A stationary-frame two-phase quantity.
+struct AlphaBeta {
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+/// A rotor-frame two-phase quantity.
+struct Dq {
+  double d = 0.0;
+  double q = 0.0;
+};
+
+/// Clarke transform, amplitude-invariant (2/3 scaling).
+[[nodiscard]] inline AlphaBeta clarke(const Abc& x) noexcept {
+  constexpr double kSqrt3Over2 = 0.86602540378443864676;
+  return AlphaBeta{(2.0 / 3.0) * (x.a - 0.5 * x.b - 0.5 * x.c),
+                   (2.0 / 3.0) * kSqrt3Over2 * (x.b - x.c)};
+}
+
+/// Inverse Clarke transform (balanced: a + b + c = 0).
+[[nodiscard]] inline Abc inverse_clarke(const AlphaBeta& x) noexcept {
+  constexpr double kSqrt3Over2 = 0.86602540378443864676;
+  return Abc{x.alpha, -0.5 * x.alpha + kSqrt3Over2 * x.beta,
+             -0.5 * x.alpha - kSqrt3Over2 * x.beta};
+}
+
+/// Park transform into a frame at electrical angle \p theta_e.
+[[nodiscard]] inline Dq park(const AlphaBeta& x, double theta_e) noexcept {
+  const double c = std::cos(theta_e);
+  const double s = std::sin(theta_e);
+  return Dq{x.alpha * c + x.beta * s, -x.alpha * s + x.beta * c};
+}
+
+/// Inverse Park transform from a frame at electrical angle \p theta_e.
+[[nodiscard]] inline AlphaBeta inverse_park(const Dq& x, double theta_e) noexcept {
+  const double c = std::cos(theta_e);
+  const double s = std::sin(theta_e);
+  return AlphaBeta{x.d * c - x.q * s, x.d * s + x.q * c};
+}
+
+}  // namespace ev::motor

@@ -1,0 +1,56 @@
+#include "ev/motor/foc.h"
+
+#include <cmath>
+
+#include "ev/util/math.h"
+
+namespace ev::motor {
+
+double PiController::update(double error, double dt_s) noexcept {
+  integral_ += ki_ * error * dt_s;
+  double out = kp_ * error + integral_;
+  const double clamped = util::clamp(out, -limit_, limit_);
+  // Back-calculation anti-windup: bleed the integrator by the clipped excess.
+  integral_ += clamped - out;
+  return clamped;
+}
+
+FocController::FocController(FocConfig config, PmsmParameters machine) noexcept
+    : config_(config),
+      machine_(machine),
+      speed_pi_(config.speed_kp, config.speed_ki, config.max_phase_current_a),
+      id_pi_(config.current_kp, config.current_ki, config.vdc / std::sqrt(3.0)),
+      iq_pi_(config.current_kp, config.current_ki, config.vdc / std::sqrt(3.0)) {}
+
+AlphaBeta FocController::update(double speed_ref_rad_s, double speed_rad_s, const Dq& i_meas,
+                                double theta_e, double dt_s) noexcept {
+  const double iq_ref = speed_pi_.update(speed_ref_rad_s - speed_rad_s, dt_s);
+  return update_torque(iq_ref, i_meas, theta_e, speed_rad_s, dt_s);
+}
+
+AlphaBeta FocController::update_torque(double iq_ref, const Dq& i_meas, double theta_e,
+                                       double speed_rad_s, double dt_s) noexcept {
+  last_iq_ref_ = util::clamp(iq_ref, -config_.max_phase_current_a,
+                             config_.max_phase_current_a);
+  const double omega_e = speed_rad_s * machine_.pole_pairs;
+  // Current loops with cross-coupling and back-EMF feed-forward.
+  double v_d = id_pi_.update(0.0 - i_meas.d, dt_s) - omega_e * machine_.lq_henry * i_meas.q;
+  double v_q = iq_pi_.update(last_iq_ref_ - i_meas.q, dt_s) +
+               omega_e * (machine_.ld_henry * i_meas.d + machine_.flux_linkage_wb);
+  // Voltage-vector limit at the SVM linear boundary.
+  const double vmax = config_.vdc / std::sqrt(3.0);
+  const double mag = std::hypot(v_d, v_q);
+  if (mag > vmax && mag > 0.0) {
+    v_d *= vmax / mag;
+    v_q *= vmax / mag;
+  }
+  return inverse_park(Dq{v_d, v_q}, theta_e);
+}
+
+void FocController::reset() noexcept {
+  speed_pi_.reset();
+  id_pi_.reset();
+  iq_pi_.reset();
+}
+
+}  // namespace ev::motor

@@ -1,0 +1,70 @@
+#include "ev/motor/inverter.h"
+
+namespace ev::motor {
+
+void Inverter::set_open_fault(Igbt sw, bool faulty) noexcept {
+  open_fault_[static_cast<unsigned>(sw)] = faulty;
+}
+
+bool Inverter::has_open_fault(Igbt sw) const noexcept {
+  return open_fault_[static_cast<unsigned>(sw)];
+}
+
+bool Inverter::any_fault() const noexcept {
+  for (bool f : open_fault_)
+    if (f) return true;
+  return false;
+}
+
+void Inverter::isolate_leg_to_midpoint(int phase) noexcept {
+  if (phase < 0 || phase > 2) return;
+  midpoint_[static_cast<unsigned>(phase)] = true;
+}
+
+double Inverter::leg_voltage(bool cmd_high, bool upper_ok, bool lower_ok, bool tied_mid,
+                             double current) const noexcept {
+  if (tied_mid) return vdc_ / 2.0;
+  if (cmd_high) {
+    if (upper_ok) return vdc_;
+    // Upper switch open: positive phase current (into the motor) commutates
+    // to the lower freewheeling diode (0 V); negative current returns
+    // through the upper diode (Vdc).
+    if (current < 0.0) return vdc_;
+    if (current > 0.0) return 0.0;
+    return vdc_ / 2.0;  // zero current: leg floats near midpoint
+  }
+  if (lower_ok) return 0.0;
+  // Lower switch open: positive current still freewheels through the lower
+  // diode (0 V); negative current is forced through the upper diode (Vdc).
+  if (current > 0.0) return 0.0;
+  if (current < 0.0) return vdc_;
+  return vdc_ / 2.0;
+}
+
+Abc Inverter::leg_voltages(const LegStates& cmd, const Abc& i) const noexcept {
+  Abc v;
+  v.a = leg_voltage(cmd.a, !open_fault_[0], !open_fault_[1], midpoint_[0], i.a);
+  v.b = leg_voltage(cmd.b, !open_fault_[2], !open_fault_[3], midpoint_[1], i.b);
+  v.c = leg_voltage(cmd.c, !open_fault_[4], !open_fault_[5], midpoint_[2], i.c);
+  return v;
+}
+
+Abc Inverter::phase_voltages(const LegStates& cmd, const Abc& i) const noexcept {
+  const Abc v = leg_voltages(cmd, i);
+  const double vn = (v.a + v.b + v.c) / 3.0;
+  return Abc{v.a - vn, v.b - vn, v.c - vn};
+}
+
+LegStates Inverter::compare_carrier(const Duties& duties, double carrier) noexcept {
+  // Center-aligned (triangular) carrier: a leg is high while the carrier
+  // distance from the period centre is inside its duty window.
+  auto high = [carrier](double duty) {
+    // Triangle position: 0 at the period edges, 1 at the centre. The on-time
+    // of each leg is centred in the period (7-segment symmetric pattern).
+    const double tri = 2.0 * (carrier < 0.5 ? carrier : 1.0 - carrier);
+    return tri > 1.0 - duty;
+  };
+  return LegStates{high(duties.a), high(duties.b), high(duties.c)};
+}
+
+}  // namespace ev::motor

@@ -1,0 +1,39 @@
+#include "ev/motor/pmsm.h"
+
+#include "ev/util/math.h"
+
+namespace ev::motor {
+
+void Pmsm::step(const Abc& v, double load_torque_nm, double dt_s) noexcept {
+  const Dq v_dq = park(clarke(v), theta_e_);
+  const double omega_e = omega_m_ * params_.pole_pairs;
+
+  // Standard PMSM dq equations (motor convention):
+  //   Ld di_d/dt = v_d - Rs i_d + omega_e Lq i_q
+  //   Lq di_q/dt = v_q - Rs i_q - omega_e (Ld i_d + psi_f)
+  const double did =
+      (v_dq.d - params_.stator_resistance_ohm * i_d_ + omega_e * params_.lq_henry * i_q_) /
+      params_.ld_henry;
+  const double diq = (v_dq.q - params_.stator_resistance_ohm * i_q_ -
+                      omega_e * (params_.ld_henry * i_d_ + params_.flux_linkage_wb)) /
+                     params_.lq_henry;
+  i_d_ += did * dt_s;
+  i_q_ += diq * dt_s;
+
+  const double te = torque_nm();
+  const double domega =
+      (te - load_torque_nm - params_.friction_nm_s * omega_m_) / params_.inertia_kg_m2;
+  omega_m_ += domega * dt_s;
+  theta_e_ = util::wrap_angle(theta_e_ + omega_m_ * params_.pole_pairs * dt_s);
+}
+
+Abc Pmsm::currents() const noexcept {
+  return inverse_clarke(inverse_park(Dq{i_d_, i_q_}, theta_e_));
+}
+
+double Pmsm::torque_nm() const noexcept {
+  return 1.5 * params_.pole_pairs *
+         (params_.flux_linkage_wb * i_q_ + (params_.ld_henry - params_.lq_henry) * i_d_ * i_q_);
+}
+
+}  // namespace ev::motor

@@ -1,0 +1,76 @@
+/// \file bus.h
+/// Common interface of the in-vehicle bus models. Every bus is a broadcast
+/// medium driven by the discrete-event simulator; concrete classes implement
+/// the protocol-specific media access (arbitration, schedule table, TDMA,
+/// switching) that determines latency and determinism.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ev/network/frame.h"
+#include "ev/sim/simulator.h"
+#include "ev/util/stats.h"
+
+namespace ev::network {
+
+/// Abstract broadcast bus.
+class Bus {
+ public:
+  /// \p sim must outlive the bus.
+  Bus(sim::Simulator& sim, std::string name, double bit_rate_bps);
+  virtual ~Bus() = default;
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  /// Queues \p frame for transmission from its source node. Returns false if
+  /// the protocol rejects it (payload too large, no slot assigned, ...).
+  /// If frame.created is unset (zero) it is stamped with the current time;
+  /// gateways keep the original stamp so end-to-end latency spans hops.
+  virtual bool send(Frame frame) = 0;
+
+  /// Registers a broadcast receiver; every delivered frame is passed to all
+  /// subscribers (nodes filter by id themselves, as real controllers do with
+  /// acceptance masks).
+  void subscribe(DeliveryHandler handler) { receivers_.push_back(std::move(handler)); }
+
+  /// Bus name (for reports).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Nominal bit rate [bit/s].
+  [[nodiscard]] double bit_rate() const noexcept { return bit_rate_bps_; }
+  /// Fraction of elapsed simulation time the medium was busy, in [0,1].
+  [[nodiscard]] double utilization() const noexcept;
+  /// Frames delivered so far.
+  [[nodiscard]] std::size_t delivered_count() const noexcept { return delivered_; }
+  /// Queue-to-delivery latency distribution [s].
+  [[nodiscard]] const util::SampleSeries& latency() const noexcept { return latency_s_; }
+  /// Total payload bytes delivered (goodput accounting).
+  [[nodiscard]] std::size_t delivered_payload_bytes() const noexcept {
+    return delivered_bytes_;
+  }
+
+ protected:
+  /// Transmission time of \p bits at the nominal rate.
+  [[nodiscard]] sim::Time tx_time(std::size_t bits) const noexcept;
+  /// Invokes all receivers and records latency/stat accounting.
+  void deliver(const Frame& frame);
+  /// Accounts \p busy time of the medium.
+  void account_busy(sim::Time busy) noexcept { busy_ += busy; }
+  /// The simulation kernel.
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  /// Stamps and returns the next frame sequence number.
+  [[nodiscard]] std::uint64_t next_sequence() noexcept { return seq_++; }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  double bit_rate_bps_;
+  std::vector<DeliveryHandler> receivers_;
+  sim::Time busy_{};
+  std::size_t delivered_ = 0;
+  std::size_t delivered_bytes_ = 0;
+  util::SampleSeries latency_s_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ev::network

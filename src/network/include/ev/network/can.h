@@ -1,0 +1,66 @@
+/// \file can.h
+/// Controller Area Network model: event-triggered, non-destructive
+/// priority arbitration (lowest identifier wins), non-preemptive
+/// transmission, broadcast delivery. Includes the classic worst-case
+/// response-time analysis for periodic CAN traffic, the tool that exposes
+/// why unbounded event-triggered buses struggle with the determinism the
+/// paper demands for EV control traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ev/network/bus.h"
+
+namespace ev::network {
+
+/// CAN 2.0A bus. Payload limited to 8 bytes; frames exceeding it are
+/// rejected by send().
+class CanBus : public Bus {
+ public:
+  /// \p bit_rate_bps is the nominal rate (classic high-speed CAN: 500 kbit/s;
+  /// the protocol maximum is 1 Mbit/s).
+  CanBus(sim::Simulator& sim, std::string name, double bit_rate_bps = 500e3);
+
+  bool send(Frame frame) override;
+
+  /// Number of frames waiting for arbitration right now.
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return pending_.size(); }
+
+  /// On-the-wire size of a CAN frame with \p payload_bytes of data,
+  /// including worst-case bit stuffing, in bits (standard 11-bit identifier).
+  [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+ private:
+  void try_start_transmission();
+  void finish_transmission();
+
+  std::vector<Frame> pending_;  // arbitration pool, winner = min id then FIFO
+  std::optional<Frame> transmitting_;
+  bool busy_ = false;
+};
+
+/// One periodic message for the offline response-time analysis.
+struct CanMessageSpec {
+  std::uint32_t id = 0;          ///< Identifier (priority, lower wins).
+  std::size_t payload_bytes = 8; ///< Data length.
+  double period_s = 0.01;        ///< Activation period.
+  double jitter_s = 0.0;         ///< Release jitter.
+};
+
+/// Result of the analysis for one message.
+struct CanResponseTime {
+  std::uint32_t id = 0;
+  double worst_case_s = 0.0;  ///< Upper bound on queuing + transmission time.
+  bool schedulable = true;    ///< False if the bound exceeded the period (busy
+                              ///< period diverges within one period).
+};
+
+/// Classic worst-case response-time analysis (Tindell; Davis et al. 2007
+/// revision): R_i = J_i + w_i + C_i with the blocking + higher-priority
+/// interference fixed point for w_i. \p bit_rate_bps must match the bus.
+[[nodiscard]] std::vector<CanResponseTime> can_response_times(
+    const std::vector<CanMessageSpec>& messages, double bit_rate_bps);
+
+}  // namespace ev::network

@@ -1,0 +1,112 @@
+/// \file ethernet.h
+/// Switched automotive Ethernet ([13],[14]): the 100 Mbit/s candidate
+/// backbone for next-generation EVs. The model is a single store-and-forward
+/// switch with per-port strict-priority egress queues, an optional AVB
+/// credit-based shaper on the class-A queue, and an optional time-aware
+/// gate schedule that turns the port into a time-triggered link — standard
+/// Ethernet is non-deterministic, and these two extensions are exactly the
+/// remedies the paper names.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ev/network/bus.h"
+
+namespace ev::network {
+
+/// Traffic class of a stream, mapped to an egress priority queue.
+enum class EthClass : std::uint8_t {
+  kBestEffort = 0,     ///< Lowest priority.
+  kAvbClassB = 4,
+  kAvbClassA = 6,      ///< Credit-based shaped.
+  kTimeTriggered = 7,  ///< Highest; gated by the time-aware schedule if present.
+};
+
+/// A gate window within the time-aware shaper cycle.
+struct GateWindow {
+  double offset_s = 0.0;    ///< Start within the cycle.
+  double duration_s = 0.0;  ///< Window length.
+  bool tt_only = true;      ///< True: only TT passes; false: everything but TT.
+};
+
+/// Time-aware shaper configuration for one egress port.
+struct GateSchedule {
+  double cycle_s = 0.001;            ///< Gating cycle.
+  std::vector<GateWindow> windows;   ///< Non-overlapping, sorted by offset.
+};
+
+/// Stream routing entry: which egress ports a frame id fans out to, and its
+/// traffic class.
+struct EthRoute {
+  std::vector<std::size_t> egress_ports;
+  EthClass traffic_class = EthClass::kBestEffort;
+};
+
+/// Single full-duplex store-and-forward switch. Nodes attach to ports;
+/// send() models the node's uplink transmission, the forwarding delay, and
+/// the egress queuing/transmission toward every routed port.
+class EthernetSwitch : public Bus {
+ public:
+  /// \p port_count ports, all at \p bit_rate_bps; \p forwarding_delay_s is
+  /// the store-and-forward processing latency.
+  EthernetSwitch(sim::Simulator& sim, std::string name, std::size_t port_count,
+                 double bit_rate_bps = 100e6, double forwarding_delay_s = 4e-6);
+
+  /// Binds \p node to \p port (the node's uplink).
+  void attach(NodeId node, std::size_t port);
+
+  /// Routes frame id \p id to \p route (destinations + class).
+  void add_route(std::uint32_t id, EthRoute route);
+
+  /// Enables the AVB credit-based shaper on the class-A queue of \p port
+  /// with \p idle_slope_fraction of the line rate reserved.
+  void enable_cbs(std::size_t port, double idle_slope_fraction = 0.75);
+
+  /// Installs a time-aware gate schedule on \p port.
+  void set_gate_schedule(std::size_t port, GateSchedule schedule);
+
+  /// Sends a frame from its source node's port through the switch. Fails if
+  /// the source is not attached or the id has no route. Payload is clamped
+  /// to the Ethernet minimum of 46 bytes for timing purposes.
+  bool send(Frame frame) override;
+
+  /// On-the-wire bits including preamble (8 B), header+FCS (18 B), padding
+  /// to the 46-byte minimum payload, and interframe gap (12 B).
+  [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+  /// Current depth of the egress queue at \p port across all priorities.
+  [[nodiscard]] std::size_t egress_depth(std::size_t port) const;
+
+ private:
+  struct Egress {
+    std::array<std::deque<Frame>, 8> queues;
+    bool busy = false;
+    // Credit-based shaper (class A queue only).
+    bool cbs_enabled = false;
+    double idle_slope = 0.0;   ///< bits/s of credit gain.
+    double credit_bits = 0.0;
+    sim::Time credit_updated{};
+    std::optional<GateSchedule> gates;
+    sim::EventId retry_event = 0;
+  };
+
+  void enqueue_egress(std::size_t port, Frame frame, EthClass cls);
+  void service_port(std::size_t port);
+  /// Whether priority \p prio may start a transmission of \p tx at \p now;
+  /// if not, *next_try is set to the earliest time worth re-checking.
+  [[nodiscard]] bool gate_allows(const Egress& e, int prio, sim::Time now, sim::Time tx,
+                                 sim::Time* next_try) const;
+  void update_credit(Egress& e, sim::Time now) const;
+
+  std::map<NodeId, std::size_t> node_port_;
+  std::map<std::uint32_t, EthRoute> routes_;
+  std::vector<Egress> egress_;
+  double forwarding_delay_s_;
+};
+
+}  // namespace ev::network

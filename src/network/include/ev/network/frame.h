@@ -1,0 +1,33 @@
+/// \file frame.h
+/// Frame and node abstractions shared by all in-vehicle bus models (CAN,
+/// LIN, FlexRay, MOST, Ethernet) of the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ev/sim/time.h"
+
+namespace ev::network {
+
+/// Identifies an attached controller (ECU communication endpoint).
+using NodeId = std::uint32_t;
+
+/// A frame in flight. `id` doubles as the arbitration priority on CAN
+/// (lower wins) and as the stream/slot identifier on scheduled buses.
+struct Frame {
+  std::uint32_t id = 0;          ///< Message identifier / priority.
+  NodeId source = 0;             ///< Sending node.
+  std::size_t payload_size = 8;  ///< Payload bytes (protocol limits apply).
+  std::vector<std::uint8_t> payload;  ///< Optional payload content.
+  sim::Time created;             ///< When the sender queued the frame.
+  std::uint64_t sequence = 0;    ///< Monotonic per-bus sequence (set by the bus).
+};
+
+/// Delivery callback: invoked at the simulation time the frame's last bit
+/// arrives at the receivers.
+using DeliveryHandler = std::function<void(const Frame&, sim::Time delivered)>;
+
+}  // namespace ev::network

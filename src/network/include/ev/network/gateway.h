@@ -1,0 +1,57 @@
+/// \file gateway.h
+/// Central gateway interconnecting heterogeneous buses (the hub of Fig. 1).
+/// Subscribes to source buses and re-injects selected frames into target
+/// buses after a store-and-forward processing delay, optionally translating
+/// identifiers and payload sizes between protocols.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ev/network/bus.h"
+#include "ev/sim/simulator.h"
+
+namespace ev::network {
+
+/// One routing rule of the gateway.
+struct GatewayRoute {
+  Bus* from = nullptr;               ///< Source bus.
+  std::uint32_t match_id = 0;        ///< Frame id to forward.
+  Bus* to = nullptr;                 ///< Target bus.
+  std::uint32_t translated_id = 0;   ///< Id on the target bus.
+  std::size_t translated_payload = 0;  ///< 0 keeps the original size (clamped
+                                       ///< to the target protocol by the bus).
+};
+
+/// Store-and-forward protocol gateway. The original frame creation time is
+/// preserved so end-to-end latency measurements span the whole path.
+class Gateway {
+ public:
+  /// \p processing_delay_s models lookup + protocol conversion per frame.
+  Gateway(sim::Simulator& sim, std::string name, double processing_delay_s = 200e-6);
+
+  /// Installs \p route; subscribes to the source bus on first use.
+  void add_route(GatewayRoute route);
+
+  /// Frames forwarded so far.
+  [[nodiscard]] std::size_t forwarded_count() const noexcept { return forwarded_; }
+  /// Frames dropped because the target bus rejected them.
+  [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
+  /// Gateway name.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void on_frame(Bus* from, const Frame& frame);
+
+  sim::Simulator* sim_;
+  std::string name_;
+  double processing_delay_s_;
+  std::vector<GatewayRoute> routes_;
+  std::vector<Bus*> subscribed_;
+  std::size_t forwarded_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace ev::network

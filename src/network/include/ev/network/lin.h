@@ -1,0 +1,61 @@
+/// \file lin.h
+/// Local Interconnect Network: the low-cost, master-scheduled sub-bus used
+/// for body/comfort peripherals in Fig. 1. All communication follows the
+/// master's schedule table — a miniature of the time-triggered paradigm at
+/// 19.2 kbit/s.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ev/network/bus.h"
+
+namespace ev::network {
+
+/// One entry of the LIN master's schedule table.
+struct LinSlot {
+  std::uint32_t frame_id = 0;  ///< Protected identifier (0..59).
+  NodeId publisher = 0;        ///< Node that answers the header with data.
+  std::size_t payload_bytes = 8;  ///< 1..8 bytes.
+};
+
+/// LIN 2.x bus with a cyclically executed schedule table. Nodes publish by
+/// calling send(); the frame is buffered and transmitted when the matching
+/// slot comes up (send() outside a configured slot id fails).
+class LinBus : public Bus {
+ public:
+  /// \p slot_time_s is the schedule-table time base per slot (must cover the
+  /// longest frame; typical 10 ms).
+  LinBus(sim::Simulator& sim, std::string name, std::vector<LinSlot> schedule,
+         double slot_time_s = 0.01, double bit_rate_bps = 19200.0);
+
+  /// Buffers the latest value for the frame's slot; the slot transmits the
+  /// most recent buffered frame (LIN signals are state, not queues).
+  bool send(Frame frame) override;
+
+  /// Starts executing the schedule table at simulation time \p start.
+  void start(sim::Time start = {});
+
+  /// Length of one full table cycle [s].
+  [[nodiscard]] double cycle_time_s() const noexcept {
+    return slot_time_s_ * static_cast<double>(schedule_.size());
+  }
+  /// The schedule table.
+  [[nodiscard]] const std::vector<LinSlot>& schedule() const noexcept { return schedule_; }
+
+  /// On-the-wire bits of a LIN frame: header (break+sync+pid ~ 34 bits) plus
+  /// response ((n+1) bytes with start/stop bits).
+  [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+ private:
+  void run_slot(std::size_t index);
+
+  std::vector<LinSlot> schedule_;
+  double slot_time_s_;
+  std::vector<std::optional<Frame>> buffered_;  // per schedule slot
+  std::size_t next_slot_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ev::network

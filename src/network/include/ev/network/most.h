@@ -1,0 +1,55 @@
+/// \file most.h
+/// Media Oriented Systems Transport model: the infotainment ring of Fig. 1.
+/// MOST divides a fixed 44.1 kHz frame into a synchronous region (reserved
+/// streaming bandwidth, constant latency) and an asynchronous region
+/// (packet data, FCFS) — modelled here at the bandwidth-allocation level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ev/network/bus.h"
+
+namespace ev::network {
+
+/// A reserved synchronous stream.
+struct MostStream {
+  std::uint32_t stream_id = 0;    ///< Frame id carrying this stream.
+  std::size_t bytes_per_frame = 4;  ///< Reserved bytes in every MOST frame.
+};
+
+/// MOST25-style ring: 25 Mbit/s gross, 512-bit frames at 44.1 kHz.
+class MostBus : public Bus {
+ public:
+  MostBus(sim::Simulator& sim, std::string name, std::vector<MostStream> streams,
+          double bit_rate_bps = 25e6, double frame_rate_hz = 44100.0);
+
+  /// Synchronous ids deliver after exactly one frame period (isochronous
+  /// pipeline); other ids use the asynchronous region, which serves a
+  /// limited byte budget per frame FCFS.
+  bool send(Frame frame) override;
+
+  /// Starts the ring's frame clock.
+  void start(sim::Time start = {});
+
+  /// Frame period [s].
+  [[nodiscard]] double frame_period_s() const noexcept { return 1.0 / frame_rate_hz_; }
+  /// Bytes of every frame reserved for synchronous streams.
+  [[nodiscard]] std::size_t synchronous_bytes() const noexcept { return sync_bytes_; }
+  /// Bytes per frame available to asynchronous traffic.
+  [[nodiscard]] std::size_t async_bytes_per_frame() const noexcept;
+
+ private:
+  void run_frame();
+
+  std::map<std::uint32_t, MostStream> streams_;
+  double frame_rate_hz_;
+  std::size_t frame_bytes_;  ///< Total bytes per MOST frame.
+  std::size_t sync_bytes_ = 0;
+  std::vector<Frame> async_queue_;
+  std::size_t async_progress_bytes_ = 0;  ///< Bytes of queue head already carried.
+  bool started_ = false;
+};
+
+}  // namespace ev::network

@@ -1,0 +1,93 @@
+/// \file ptp.h
+/// Precision Time Protocol ([15]) style clock synchronization: the
+/// prerequisite for time-triggered Ethernet schedules and for the global
+/// task/message schedules of Section 3.1. Each ECU clock drifts; periodic
+/// two-way sync exchanges estimate offset (and rate) and discipline the
+/// slave clocks. The residual error distribution is what bounds schedule
+/// guard bands.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ev/sim/simulator.h"
+#include "ev/util/rng.h"
+#include "ev/util/stats.h"
+
+namespace ev::network {
+
+/// A free-running local clock with constant rate error (ppm) and offset.
+class DriftingClock {
+ public:
+  /// \p drift_ppm parts-per-million rate error; \p initial_offset_s start
+  /// offset relative to perfect time.
+  explicit DriftingClock(double drift_ppm = 0.0, double initial_offset_s = 0.0) noexcept
+      : drift_ppm_(drift_ppm), offset_s_(initial_offset_s) {}
+
+  /// Local reading when true (simulation) time is \p true_time.
+  [[nodiscard]] double read(sim::Time true_time) const noexcept {
+    return offset_s_ + true_time.to_seconds() * (1.0 + drift_ppm_ * 1e-6) + rate_corr_s_;
+  }
+
+  /// Error vs. true time [s].
+  [[nodiscard]] double error_s(sim::Time true_time) const noexcept {
+    return read(true_time) - true_time.to_seconds();
+  }
+
+  /// Applies a servo correction of \p delta_s (subtracted from the offset).
+  void correct(double delta_s) noexcept { offset_s_ -= delta_s; }
+
+  /// Adjusts the accumulated rate-correction term (syntonization).
+  void correct_rate(double delta_s) noexcept { rate_corr_s_ += delta_s; }
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  double drift_ppm_;
+  double offset_s_;
+  double rate_corr_s_ = 0.0;
+};
+
+/// Configuration of the sync service.
+struct PtpConfig {
+  double sync_interval_s = 0.125;  ///< Standard gPTP 8 Hz sync rate.
+  double path_delay_s = 2e-6;      ///< Mean one-way propagation + bridge delay.
+  double delay_jitter_s = 100e-9;  ///< Per-message timestamping jitter (sigma).
+  double asymmetry_s = 0.0;        ///< Uncompensated path asymmetry (error floor).
+};
+
+/// Master + N slaves synchronization simulation. Runs the two-way exchange
+/// (sync/follow-up + delay request/response) arithmetic every interval and
+/// disciplines each slave's clock; records the residual error sampled just
+/// before each correction (the worst point of the cycle).
+class PtpSync {
+ public:
+  /// \p drifts_ppm gives one slave clock per entry; the master is perfect.
+  PtpSync(sim::Simulator& sim, std::vector<double> drifts_ppm, PtpConfig config,
+          util::Rng& rng);
+
+  /// Starts periodic synchronization.
+  void start();
+
+  /// Residual |error| samples across all slaves [s].
+  [[nodiscard]] const util::SampleSeries& residual_error() const noexcept {
+    return residuals_;
+  }
+  /// Slave clock \p i.
+  [[nodiscard]] const DriftingClock& slave(std::size_t i) const { return slaves_.at(i); }
+  /// Number of sync rounds completed.
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+ private:
+  void run_round();
+
+  sim::Simulator* sim_;
+  std::vector<DriftingClock> slaves_;
+  PtpConfig config_;
+  util::Rng* rng_;
+  util::SampleSeries residuals_;
+  std::size_t rounds_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ev::network

@@ -1,0 +1,29 @@
+#include "ev/network/bus.h"
+
+#include <stdexcept>
+
+namespace ev::network {
+
+Bus::Bus(sim::Simulator& sim, std::string name, double bit_rate_bps)
+    : sim_(&sim), name_(std::move(name)), bit_rate_bps_(bit_rate_bps) {
+  if (bit_rate_bps <= 0.0) throw std::invalid_argument("Bus: bit rate must be positive");
+}
+
+sim::Time Bus::tx_time(std::size_t bits) const noexcept {
+  return sim::Time::seconds(static_cast<double>(bits) / bit_rate_bps_);
+}
+
+double Bus::utilization() const noexcept {
+  const double elapsed = sim_->now().to_seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return busy_.to_seconds() / elapsed;
+}
+
+void Bus::deliver(const Frame& frame) {
+  ++delivered_;
+  delivered_bytes_ += frame.payload_size;
+  latency_s_.add((sim_->now() - frame.created).to_seconds());
+  for (const auto& r : receivers_) r(frame, sim_->now());
+}
+
+}  // namespace ev::network

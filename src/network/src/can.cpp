@@ -1,0 +1,98 @@
+#include "ev/network/can.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ev::network {
+
+CanBus::CanBus(sim::Simulator& sim, std::string name, double bit_rate_bps)
+    : Bus(sim, std::move(name), bit_rate_bps) {}
+
+std::size_t CanBus::frame_bits(std::size_t payload_bytes) noexcept {
+  // Standard frame: SOF(1) + ID(11) + RTR(1) + control(6) + data(8n) +
+  // CRC(15) + CRC del(1) + ACK(2) + EOF(7) + IFS(3) = 47 + 8n, of which
+  // 34 + 8n bits are subject to stuffing (worst case one stuff bit per 4).
+  const std::size_t n = payload_bytes;
+  return 47 + 8 * n + (34 + 8 * n - 1) / 4;
+}
+
+bool CanBus::send(Frame frame) {
+  if (frame.payload_size > 8) return false;
+  if (frame.created == sim::Time{}) frame.created = simulator().now();
+  frame.sequence = next_sequence();
+  pending_.push_back(std::move(frame));
+  try_start_transmission();
+  return true;
+}
+
+void CanBus::try_start_transmission() {
+  if (busy_ || pending_.empty()) return;
+  // Arbitration: lowest identifier wins; FIFO among equal identifiers.
+  auto winner = std::min_element(pending_.begin(), pending_.end(),
+                                 [](const Frame& a, const Frame& b) {
+                                   if (a.id != b.id) return a.id < b.id;
+                                   return a.sequence < b.sequence;
+                                 });
+  transmitting_ = std::move(*winner);
+  pending_.erase(winner);
+  busy_ = true;
+  const sim::Time tx = tx_time(frame_bits(transmitting_->payload_size));
+  account_busy(tx);
+  simulator().schedule_in(tx, [this] { finish_transmission(); });
+}
+
+void CanBus::finish_transmission() {
+  deliver(*transmitting_);
+  transmitting_.reset();
+  busy_ = false;
+  try_start_transmission();
+}
+
+std::vector<CanResponseTime> can_response_times(const std::vector<CanMessageSpec>& messages,
+                                                double bit_rate_bps) {
+  const double tau_bit = 1.0 / bit_rate_bps;
+  auto tx_of = [&](const CanMessageSpec& m) {
+    return static_cast<double>(CanBus::frame_bits(m.payload_bytes)) * tau_bit;
+  };
+
+  std::vector<CanMessageSpec> sorted = messages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CanMessageSpec& a, const CanMessageSpec& b) { return a.id < b.id; });
+
+  std::vector<CanResponseTime> results;
+  results.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const CanMessageSpec& mi = sorted[i];
+    const double ci = tx_of(mi);
+    // Blocking: the longest lower-priority frame that may have started.
+    double blocking = 0.0;
+    for (std::size_t j = i + 1; j < sorted.size(); ++j)
+      blocking = std::max(blocking, tx_of(sorted[j]));
+
+    // Fixed point on the queuing delay w.
+    double w = blocking;
+    bool converged = false;
+    for (int iter = 0; iter < 10000; ++iter) {
+      double w_next = blocking;
+      for (std::size_t j = 0; j < i; ++j) {
+        const CanMessageSpec& mj = sorted[j];
+        w_next += std::ceil((w + mj.jitter_s + tau_bit) / mj.period_s) * tx_of(mj);
+      }
+      if (std::fabs(w_next - w) < 1e-12) {
+        w = w_next;
+        converged = true;
+        break;
+      }
+      w = w_next;
+      if (w > 10.0 * mi.period_s) break;  // clearly diverging
+    }
+    CanResponseTime r;
+    r.id = mi.id;
+    r.worst_case_s = mi.jitter_s + w + ci;
+    r.schedulable = converged && r.worst_case_s <= mi.period_s;
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace ev::network

@@ -1,0 +1,36 @@
+#include "ev/network/gateway.h"
+
+#include <algorithm>
+
+namespace ev::network {
+
+Gateway::Gateway(sim::Simulator& sim, std::string name, double processing_delay_s)
+    : sim_(&sim), name_(std::move(name)), processing_delay_s_(processing_delay_s) {}
+
+void Gateway::add_route(GatewayRoute route) {
+  if (std::find(subscribed_.begin(), subscribed_.end(), route.from) == subscribed_.end()) {
+    Bus* from = route.from;
+    from->subscribe([this, from](const Frame& frame, sim::Time) { on_frame(from, frame); });
+    subscribed_.push_back(from);
+  }
+  routes_.push_back(route);
+}
+
+void Gateway::on_frame(Bus* from, const Frame& frame) {
+  for (const GatewayRoute& route : routes_) {
+    if (route.from != from || route.match_id != frame.id) continue;
+    Frame out = frame;
+    out.id = route.translated_id;
+    if (route.translated_payload > 0) out.payload_size = route.translated_payload;
+    // Keep out.created: end-to-end latency accumulates across hops.
+    Bus* to = route.to;
+    sim_->schedule_in(sim::Time::seconds(processing_delay_s_), [this, to, out]() mutable {
+      if (to->send(std::move(out)))
+        ++forwarded_;
+      else
+        ++dropped_;
+    });
+  }
+}
+
+}  // namespace ev::network

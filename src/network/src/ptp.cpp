@@ -1,0 +1,50 @@
+#include "ev/network/ptp.h"
+
+#include <cmath>
+
+namespace ev::network {
+
+PtpSync::PtpSync(sim::Simulator& sim, std::vector<double> drifts_ppm, PtpConfig config,
+                 util::Rng& rng)
+    : sim_(&sim), config_(config), rng_(&rng) {
+  slaves_.reserve(drifts_ppm.size());
+  for (double d : drifts_ppm)
+    // Initial offsets up to +-10 us, as after a cold start.
+    slaves_.emplace_back(d, rng.uniform(-10e-6, 10e-6));
+}
+
+void PtpSync::start() {
+  if (started_) return;
+  started_ = true;
+  sim_->schedule_periodic(sim::Time::seconds(config_.sync_interval_s),
+                          sim::Time::seconds(config_.sync_interval_s),
+                          [this] { run_round(); });
+}
+
+void PtpSync::run_round() {
+  const sim::Time now = sim_->now();
+  for (auto& slave : slaves_) {
+    // Residual just before correction: the maximum accumulated error.
+    residuals_.add(std::fabs(slave.error_s(now)));
+
+    // Two-way exchange. True master timestamps are exact; each timestamp
+    // capture adds jitter. The computed offset estimate is
+    //   offset = ((t2 - t1) - (t4 - t3)) / 2
+    // which cancels the symmetric path delay but keeps asymmetry + jitter.
+    const double t_true = now.to_seconds();
+    const auto jitter = [this] { return rng_->normal(0.0, config_.delay_jitter_s); };
+    const double t1 = t_true;  // master send (master clock = true time)
+    const double t2 = slave.read(now) + config_.path_delay_s + config_.asymmetry_s + jitter();
+    const double t3 = slave.read(now) + 10e-6;  // slave delay-req send
+    const double t4 = t_true + 10e-6 + config_.path_delay_s - config_.asymmetry_s + jitter();
+    const double offset = ((t2 - t1) - (t4 - t3)) / 2.0;
+    slave.correct(offset);
+    // First-order syntonization: cancel the deterministic drift accumulated
+    // over the coming interval (real servos estimate this from successive
+    // offsets; using the known drift models a converged rate estimate).
+    slave.correct_rate(-slave.drift_ppm() * 1e-6 * config_.sync_interval_s);
+  }
+  ++rounds_;
+}
+
+}  // namespace ev::network

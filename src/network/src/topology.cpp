@@ -1,0 +1,145 @@
+#include "ev/network/topology.h"
+
+#include <algorithm>
+
+namespace ev::network {
+
+namespace {
+
+// Frame-id blocks per domain keep gateway translation unambiguous.
+constexpr std::uint32_t kChassisBase = 0x100;
+constexpr std::uint32_t kSafetyBase = 0x200;
+constexpr std::uint32_t kComfortBase = 0x300;
+constexpr std::uint32_t kLinBase = 0x10;
+constexpr std::uint32_t kMostBase = 0x800;
+
+}  // namespace
+
+Figure1Network::Figure1Network(sim::Simulator& sim, const Figure1Config& config)
+    : sim_(&sim), config_(config) {
+  // --- Chassis FlexRay: time-triggered control traffic ----------------------
+  FlexRayConfig fr;
+  fr.static_payload_bytes = 16;
+  fr.static_slots = {
+      {kChassisBase + 0, 1, 16},  // brake command (brake-by-wire)
+      {kChassisBase + 1, 2, 16},  // steering command
+      {kChassisBase + 2, 3, 16},  // wheel speeds front
+      {kChassisBase + 3, 3, 16},  // wheel speeds rear
+      {kChassisBase + 4, 4, 16},  // motor torque command
+      {kChassisBase + 5, 5, 16},  // motor status
+      {kChassisBase + 6, 6, 16},  // BMS pack status
+      {kChassisBase + 7, 7, 16},  // suspension
+  };
+  chassis_fr_ = std::make_unique<FlexRayBus>(sim, "chassis(FlexRay)", fr,
+                                             config.flexray_bit_rate);
+
+  // --- Safety CAN: airbag/ABS/ESP event + periodic traffic -------------------
+  safety_can_ = std::make_unique<CanBus>(sim, "safety(CAN)", config.can_bit_rate);
+
+  // --- Comfort CAN ------------------------------------------------------------
+  comfort_can_ = std::make_unique<CanBus>(sim, "comfort(CAN)", config.can_bit_rate);
+
+  // --- Body LIN sub-network ----------------------------------------------------
+  std::vector<LinSlot> lin_schedule = {
+      {kLinBase + 0, 30, 2},  // window lift switches
+      {kLinBase + 1, 31, 2},  // mirror position
+      {kLinBase + 2, 32, 4},  // rain/light sensor
+      {kLinBase + 3, 33, 2},  // seat heater
+  };
+  body_lin_ = std::make_unique<LinBus>(sim, "sub-network(LIN)", std::move(lin_schedule),
+                                       0.01, config.lin_bit_rate);
+
+  // --- Infotainment MOST --------------------------------------------------------
+  std::vector<MostStream> streams = {
+      {kMostBase + 0, 8},  // main audio stream
+      {kMostBase + 1, 4},  // voice channel
+  };
+  most_ = std::make_unique<MostBus>(sim, "infotainment(MOST)", std::move(streams));
+
+  // --- Central gateway -----------------------------------------------------------
+  gateway_ = std::make_unique<Gateway>(sim, "central-gateway");
+  // Wheel speeds chassis -> comfort (dashboard display).
+  gateway_->add_route({chassis_fr_.get(), kChassisBase + 2, comfort_can_.get(),
+                       kComfortBase + 0x40, 8});
+  // BMS pack status chassis -> MOST (range display in infotainment).
+  gateway_->add_route({chassis_fr_.get(), kChassisBase + 6, most_.get(),
+                       kMostBase + 0x40, 0});
+  // Crash signal safety -> chassis (triggers HV shutdown).
+  gateway_->add_route({safety_can_.get(), kSafetyBase + 0, chassis_fr_.get(),
+                       kChassisBase + 0x50, 8});
+  // Climate state comfort -> MOST (UI).
+  gateway_->add_route({comfort_can_.get(), kComfortBase + 1, most_.get(),
+                       kMostBase + 0x41, 0});
+
+  // --- Periodic traffic -------------------------------------------------------
+  const double s = 1.0 / std::max(config.load_scale, 1e-6);
+  // Chassis control loops at 10 ms, status at 100 ms.
+  add_source({chassis_fr_.get(), kChassisBase + 0, 1, 16, 0.010 * s, 0.0, "brake cmd"});
+  add_source({chassis_fr_.get(), kChassisBase + 1, 2, 16, 0.010 * s, 0.001, "steering cmd"});
+  add_source({chassis_fr_.get(), kChassisBase + 2, 3, 16, 0.010 * s, 0.002, "wheel spd F"});
+  add_source({chassis_fr_.get(), kChassisBase + 3, 3, 16, 0.010 * s, 0.003, "wheel spd R"});
+  add_source({chassis_fr_.get(), kChassisBase + 4, 4, 16, 0.010 * s, 0.004, "torque cmd"});
+  add_source({chassis_fr_.get(), kChassisBase + 5, 5, 16, 0.020 * s, 0.005, "motor status"});
+  if (config.synthetic_bms_source)
+    add_source({chassis_fr_.get(), kChassisBase + 6, 6, 16, 0.100 * s, 0.006, "BMS status"});
+  add_source({chassis_fr_.get(), kChassisBase + 7, 7, 16, 0.020 * s, 0.007, "suspension"});
+  // Safety CAN.
+  add_source({safety_can_.get(), kSafetyBase + 0, 10, 8, 0.100 * s, 0.0, "crash status"});
+  add_source({safety_can_.get(), kSafetyBase + 1, 11, 8, 0.010 * s, 0.001, "ABS status"});
+  add_source({safety_can_.get(), kSafetyBase + 2, 12, 8, 0.010 * s, 0.002, "ESP status"});
+  add_source({safety_can_.get(), kSafetyBase + 3, 13, 6, 0.020 * s, 0.003, "airbag diag"});
+  add_source({safety_can_.get(), kSafetyBase + 4, 14, 8, 0.050 * s, 0.004, "belt status"});
+  // Comfort CAN.
+  add_source({comfort_can_.get(), kComfortBase + 0, 20, 8, 0.050 * s, 0.0, "door status"});
+  add_source({comfort_can_.get(), kComfortBase + 1, 21, 8, 0.100 * s, 0.01, "climate"});
+  add_source({comfort_can_.get(), kComfortBase + 2, 22, 4, 0.200 * s, 0.02, "seat pos"});
+  add_source({comfort_can_.get(), kComfortBase + 3, 23, 8, 0.100 * s, 0.03, "lighting"});
+  // LIN slaves publish each slot period.
+  add_source({body_lin_.get(), kLinBase + 0, 30, 2, 0.040 * s, 0.0, "window sw"});
+  add_source({body_lin_.get(), kLinBase + 1, 31, 2, 0.040 * s, 0.01, "mirror pos"});
+  add_source({body_lin_.get(), kLinBase + 2, 32, 4, 0.040 * s, 0.02, "rain sensor"});
+  add_source({body_lin_.get(), kLinBase + 3, 33, 2, 0.040 * s, 0.03, "seat heater"});
+  // MOST: audio isochronous blocks + nav async bursts.
+  add_source({most_.get(), kMostBase + 0, 40, 8, 0.005, 0.0, "audio block"});
+  add_source({most_.get(), kMostBase + 2, 41, 256, 0.050 * s, 0.01, "nav data"});
+
+  // --- Cross-domain latency probes ------------------------------------------
+  monitor_flow({"wheel-speed->dashboard", comfort_can_.get(), kComfortBase + 0x40});
+  monitor_flow({"bms->infotainment", most_.get(), kMostBase + 0x40});
+  monitor_flow({"crash->chassis", chassis_fr_.get(), kChassisBase + 0x50});
+}
+
+void Figure1Network::add_source(PeriodicSource src) { sources_.push_back(std::move(src)); }
+
+void Figure1Network::monitor_flow(const CrossDomainFlow& flow) {
+  auto& series = flow_latency_[flow.name];
+  const std::uint32_t id = flow.destination_id;
+  flow.destination_bus->subscribe([&series, id](const Frame& f, sim::Time at) {
+    if (f.id == id) series.add((at - f.created).to_seconds());
+  });
+}
+
+void Figure1Network::start() {
+  if (started_) return;
+  started_ = true;
+  body_lin_->start();
+  most_->start();
+  chassis_fr_->start();
+  for (const PeriodicSource& src : sources_) {
+    Bus* bus = src.bus;
+    Frame proto;
+    proto.id = src.frame_id;
+    proto.source = src.source;
+    proto.payload_size = src.payload_bytes;
+    sim_->schedule_periodic(sim::Time::seconds(src.offset_s) + sim::Time::us(1),
+                            sim::Time::seconds(src.period_s),
+                            [bus, proto]() mutable { (void)bus->send(proto); });
+  }
+}
+
+std::vector<Bus*> Figure1Network::buses() noexcept {
+  return {body_lin_.get(), comfort_can_.get(), most_.get(), safety_can_.get(),
+          chassis_fr_.get()};
+}
+
+}  // namespace ev::network

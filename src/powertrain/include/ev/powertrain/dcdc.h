@@ -1,0 +1,46 @@
+/// \file dcdc.h
+/// DC-DC converter models for the powertrain of Fig. 4: the high-voltage to
+/// 12 V auxiliary converter and the generic conversion-stage model used by
+/// the energy-flow optimization. Efficiency follows the standard
+/// fixed + proportional + quadratic loss decomposition.
+#pragma once
+
+namespace ev::powertrain {
+
+/// Loss model of one conversion stage: P_loss = p0 + k1*P + k2*P^2/P_rated.
+struct DcDcParameters {
+  double rated_power_w = 3000.0;  ///< Nameplate throughput.
+  double fixed_loss_w = 15.0;     ///< Gate drive, control, magnetizing losses.
+  double proportional_loss = 0.02;  ///< Conduction-dominated fraction.
+  double quadratic_loss = 0.015;    ///< I^2R-dominated fraction at rated power.
+};
+
+/// Unidirectional converter stage. transfer() maps demanded output power to
+/// the input power drawn (output + losses); efficiency() reports the ratio.
+class DcDcConverter {
+ public:
+  explicit DcDcConverter(DcDcParameters params = {}) noexcept : params_(params) {}
+
+  /// Input power required to deliver \p output_w (clamped at rated power).
+  /// Returns the drawn input power [W] and accumulates energy accounting.
+  double transfer(double output_w, double dt_s) noexcept;
+
+  /// Efficiency at \p output_w without advancing state.
+  [[nodiscard]] double efficiency(double output_w) const noexcept;
+  /// Loss power at \p output_w [W].
+  [[nodiscard]] double loss_w(double output_w) const noexcept;
+
+  /// Cumulative delivered output energy [J].
+  [[nodiscard]] double delivered_j() const noexcept { return delivered_j_; }
+  /// Cumulative conversion losses [J].
+  [[nodiscard]] double losses_j() const noexcept { return losses_j_; }
+  /// Parameters.
+  [[nodiscard]] const DcDcParameters& params() const noexcept { return params_; }
+
+ private:
+  DcDcParameters params_;
+  double delivered_j_ = 0.0;
+  double losses_j_ = 0.0;
+};
+
+}  // namespace ev::powertrain

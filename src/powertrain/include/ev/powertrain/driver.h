@@ -1,0 +1,34 @@
+/// \file driver.h
+/// Driver model: a PI speed tracker translating the drive-cycle target into
+/// accelerator and brake pedal positions — the "desired driver inputs" that
+/// the drive-by-wire layer then enhances (regeneration blending, prudent
+/// acceleration shaping).
+#pragma once
+
+namespace ev::powertrain {
+
+/// Pedal outputs, each in [0, 1]; at most one is nonzero per step.
+struct PedalState {
+  double accelerator = 0.0;
+  double brake = 0.0;
+};
+
+/// PI speed-tracking driver.
+class DriverModel {
+ public:
+  /// \p kp and \p ki act on the speed error in m/s.
+  explicit DriverModel(double kp = 0.35, double ki = 0.08) noexcept : kp_(kp), ki_(ki) {}
+
+  /// Produces pedal positions to move \p actual_mps toward \p target_mps.
+  [[nodiscard]] PedalState update(double target_mps, double actual_mps, double dt_s) noexcept;
+
+  /// Clears the integral state.
+  void reset() noexcept { integral_ = 0.0; }
+
+ private:
+  double kp_;
+  double ki_;
+  double integral_ = 0.0;
+};
+
+}  // namespace ev::powertrain

@@ -1,0 +1,52 @@
+/// \file motor_map.h
+/// Quasi-static motor+inverter model for long-horizon energy simulation.
+/// The switched MotorDrive (ev::motor) resolves microseconds and is the
+/// right tool for waveform/fault studies (E3), but a 1500 s drive cycle
+/// needs a power-level abstraction: torque is assumed tracked within the
+/// current limit, and losses follow the physical decomposition (copper,
+/// iron, inverter switching/conduction) derived from the same PMSM
+/// parameters.
+#pragma once
+
+#include "ev/motor/pmsm.h"
+
+namespace ev::powertrain {
+
+/// Loss coefficients beyond the PMSM electrical parameters.
+struct MotorMapConfig {
+  ev::motor::PmsmParameters machine;
+  double iron_loss_w_per_rad2 = 0.002;   ///< k_fe * omega_e^2 iron losses.
+  double inverter_fixed_loss_w = 120.0;  ///< Gate drive + switching base.
+  double inverter_loss_fraction = 0.015; ///< Conduction loss vs throughput.
+  double max_torque_nm = 250.0;          ///< Peak machine torque.
+  double max_power_w = 80e3;             ///< Peak mechanical power.
+};
+
+/// Quasi-static torque/power/loss map.
+class MotorMap {
+ public:
+  explicit MotorMap(MotorMapConfig config = {}) noexcept : config_(config) {}
+
+  /// Clamps \p torque_nm to the torque and power envelope at \p speed_rad_s.
+  [[nodiscard]] double clamp_torque(double torque_nm, double speed_rad_s) const noexcept;
+
+  /// Electrical power drawn from (positive) or fed into (negative) the dc
+  /// link to produce \p torque_nm at \p speed_rad_s, including machine and
+  /// inverter losses. Regeneration returns less than the mechanical power by
+  /// the same loss mechanisms.
+  [[nodiscard]] double electrical_power_w(double torque_nm, double speed_rad_s) const noexcept;
+
+  /// Loss power at the operating point [W].
+  [[nodiscard]] double loss_w(double torque_nm, double speed_rad_s) const noexcept;
+
+  /// Efficiency at the operating point in (0,1]; motoring convention.
+  [[nodiscard]] double efficiency(double torque_nm, double speed_rad_s) const noexcept;
+
+  /// Configuration.
+  [[nodiscard]] const MotorMapConfig& config() const noexcept { return config_; }
+
+ private:
+  MotorMapConfig config_;
+};
+
+}  // namespace ev::powertrain

@@ -1,0 +1,43 @@
+/// \file range.h
+/// Range estimation for the EV information system. The paper requires an
+/// information system "that ensures that driving ranges are never exceeded";
+/// this estimator turns battery state and observed consumption into the
+/// remaining-range and reachability answers that system publishes.
+#pragma once
+
+namespace ev::powertrain {
+
+/// Exponentially weighted consumption tracker plus range projection.
+class RangeEstimator {
+ public:
+  /// \p initial_consumption_wh_km seeds the estimate before any driving;
+  /// \p smoothing in (0,1] is the EWMA weight per update-kilometre.
+  explicit RangeEstimator(double initial_consumption_wh_km = 160.0,
+                          double smoothing = 0.15) noexcept
+      : consumption_wh_km_(initial_consumption_wh_km), smoothing_(smoothing) {}
+
+  /// Folds in a driven segment of \p distance_m using \p energy_wh drawn
+  /// from the battery (net of regeneration). Segments shorter than a few
+  /// meters are accumulated until significant.
+  void update(double energy_wh, double distance_m) noexcept;
+
+  /// Current consumption estimate [Wh/km].
+  [[nodiscard]] double consumption_wh_km() const noexcept { return consumption_wh_km_; }
+
+  /// Projected remaining range given \p usable_energy_wh left in the pack [km].
+  [[nodiscard]] double remaining_range_km(double usable_energy_wh) const noexcept;
+
+  /// True when \p destination_km is within range including \p reserve_fraction
+  /// safety margin (e.g. 0.15 keeps 15% headroom) — the "never exceed the
+  /// driving range" predicate.
+  [[nodiscard]] bool reachable(double destination_km, double usable_energy_wh,
+                               double reserve_fraction = 0.15) const noexcept;
+
+ private:
+  double consumption_wh_km_;
+  double smoothing_;
+  double pending_energy_wh_ = 0.0;
+  double pending_distance_m_ = 0.0;
+};
+
+}  // namespace ev::powertrain

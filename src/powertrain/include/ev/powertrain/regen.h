@@ -1,0 +1,45 @@
+/// \file regen.h
+/// Brake-by-wire blending: splits a brake-pedal demand into regenerative
+/// motor torque and friction-brake torque. The paper argues that mechanical
+/// decoupling of the brake pedal is what makes energy recuperation — and
+/// therefore acceptable EV range — possible; experiment E4 measures the
+/// range this controller recovers.
+#pragma once
+
+namespace ev::powertrain {
+
+/// Blending policy parameters.
+struct RegenConfig {
+  bool enabled = true;              ///< False = pure friction braking (baseline).
+  double max_regen_power_w = 60e3;  ///< Motor/inverter regeneration capability.
+  double max_regen_force_n = 8e3;   ///< Wheel-force limit of the motor torque path.
+  double fade_below_mps = 2.5;      ///< Regen fades out linearly below this speed.
+  double max_brake_force_n = 12e3;  ///< Total wheel braking force at pedal = 1.
+};
+
+/// Result of one blending decision.
+struct BrakeSplit {
+  double regen_force_n = 0.0;     ///< Wheel force served regeneratively (>= 0).
+  double friction_force_n = 0.0;  ///< Wheel force served by friction brakes (>= 0).
+};
+
+/// Stateless brake blender. Regeneration takes as much of the demand as the
+/// battery charge-power limit and the fade band allow; friction covers the
+/// remainder so total deceleration always matches the pedal.
+class BrakeBlender {
+ public:
+  explicit BrakeBlender(RegenConfig config = {}) noexcept : config_(config) {}
+
+  /// Splits pedal demand \p brake_pedal (0..1) at vehicle speed \p speed_mps
+  /// under the BMS charge-power limit \p charge_limit_w.
+  [[nodiscard]] BrakeSplit split(double brake_pedal, double speed_mps,
+                                 double charge_limit_w) const noexcept;
+
+  /// Active configuration.
+  [[nodiscard]] const RegenConfig& config() const noexcept { return config_; }
+
+ private:
+  RegenConfig config_;
+};
+
+}  // namespace ev::powertrain

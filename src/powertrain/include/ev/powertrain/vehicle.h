@@ -1,0 +1,57 @@
+/// \file vehicle.h
+/// Longitudinal vehicle dynamics: the road-load plant the electric
+/// powertrain (Fig. 4) pushes against. Forces: inertia, aerodynamic drag,
+/// rolling resistance, grade.
+#pragma once
+
+namespace ev::powertrain {
+
+/// Road-load and drivetrain parameters. Defaults approximate a compact EV
+/// (~1.6 t, Cd*A ~0.65 m^2).
+struct VehicleParameters {
+  double mass_kg = 1600.0;             ///< Curb + payload mass.
+  double drag_area_m2 = 0.65;          ///< Cd * frontal area.
+  double air_density_kg_m3 = 1.2;      ///< rho.
+  double rolling_resistance = 0.010;   ///< Crr.
+  double wheel_radius_m = 0.31;        ///< Dynamic wheel radius.
+  double gear_ratio = 9.0;             ///< Single-speed reduction, motor:wheel.
+  double driveline_efficiency = 0.97;  ///< Gear mesh + bearing losses.
+  double gravity_m_s2 = 9.81;
+};
+
+/// Integrates vehicle speed and distance under applied wheel force.
+class VehicleDynamics {
+ public:
+  explicit VehicleDynamics(VehicleParameters params = {}) noexcept : params_(params) {}
+
+  /// Advances by \p dt_s under net tractive force \p traction_force_n at the
+  /// wheels (negative = braking) on a grade of \p grade_rad. Speed is
+  /// clamped at zero (no reverse in this model); returns the actual
+  /// acceleration applied [m/s^2].
+  double step(double traction_force_n, double dt_s, double grade_rad = 0.0) noexcept;
+
+  /// Resistive road load at the current speed (positive opposes motion) [N].
+  [[nodiscard]] double road_load_n(double grade_rad = 0.0) const noexcept;
+
+  /// Vehicle speed [m/s].
+  [[nodiscard]] double speed_mps() const noexcept { return speed_; }
+  /// Distance travelled [m].
+  [[nodiscard]] double distance_m() const noexcept { return distance_; }
+  /// Motor shaft speed for the current vehicle speed [rad/s].
+  [[nodiscard]] double motor_speed_rad_s() const noexcept;
+  /// Wheel force produced by motor torque \p torque_nm through the gear [N].
+  [[nodiscard]] double wheel_force_n(double torque_nm) const noexcept;
+  /// Motor torque needed for wheel force \p force_n (inverse gear path) [Nm].
+  [[nodiscard]] double motor_torque_nm(double force_n) const noexcept;
+  /// Parameters.
+  [[nodiscard]] const VehicleParameters& params() const noexcept { return params_; }
+  /// Forces vehicle speed (test helper).
+  void set_speed(double mps) noexcept { speed_ = mps < 0.0 ? 0.0 : mps; }
+
+ private:
+  VehicleParameters params_;
+  double speed_ = 0.0;
+  double distance_ = 0.0;
+};
+
+}  // namespace ev::powertrain

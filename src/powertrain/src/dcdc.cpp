@@ -1,0 +1,27 @@
+#include "ev/powertrain/dcdc.h"
+
+#include <algorithm>
+
+namespace ev::powertrain {
+
+double DcDcConverter::loss_w(double output_w) const noexcept {
+  const double p = std::clamp(output_w, 0.0, params_.rated_power_w);
+  return params_.fixed_loss_w + params_.proportional_loss * p +
+         params_.quadratic_loss * p * p / params_.rated_power_w;
+}
+
+double DcDcConverter::efficiency(double output_w) const noexcept {
+  const double p = std::clamp(output_w, 0.0, params_.rated_power_w);
+  if (p <= 0.0) return 0.0;
+  return p / (p + loss_w(p));
+}
+
+double DcDcConverter::transfer(double output_w, double dt_s) noexcept {
+  const double p = std::clamp(output_w, 0.0, params_.rated_power_w);
+  const double loss = loss_w(p);
+  delivered_j_ += p * dt_s;
+  losses_j_ += loss * dt_s;
+  return p + loss;
+}
+
+}  // namespace ev::powertrain

@@ -1,0 +1,29 @@
+#include "ev/powertrain/driver.h"
+
+#include "ev/util/math.h"
+
+namespace ev::powertrain {
+
+PedalState DriverModel::update(double target_mps, double actual_mps, double dt_s) noexcept {
+  const double error = target_mps - actual_mps;
+  integral_ += ki_ * error * dt_s;
+  integral_ = util::clamp(integral_, -1.0, 1.0);
+  const double demand = kp_ * error + integral_;  // >0 accelerate, <0 brake
+  PedalState pedals;
+  if (demand >= 0.0) {
+    pedals.accelerator = util::clamp(demand, 0.0, 1.0);
+  } else {
+    pedals.brake = util::clamp(-demand, 0.0, 1.0);
+    // Anti-windup: do not hold accelerator integral while braking.
+    integral_ = util::clamp(integral_, -1.0, 0.2);
+  }
+  // Full stop handling: release everything when stopped at a stopped target.
+  if (target_mps < 0.05 && actual_mps < 0.05) {
+    pedals.accelerator = 0.0;
+    pedals.brake = 1.0;
+    integral_ = 0.0;
+  }
+  return pedals;
+}
+
+}  // namespace ev::powertrain

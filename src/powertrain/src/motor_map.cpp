@@ -1,0 +1,45 @@
+#include "ev/powertrain/motor_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ev::powertrain {
+
+double MotorMap::clamp_torque(double torque_nm, double speed_rad_s) const noexcept {
+  double t = std::clamp(torque_nm, -config_.max_torque_nm, config_.max_torque_nm);
+  const double w = std::fabs(speed_rad_s);
+  if (w > 1.0) {
+    const double power_torque_cap = config_.max_power_w / w;
+    t = std::clamp(t, -power_torque_cap, power_torque_cap);
+  }
+  return t;
+}
+
+double MotorMap::loss_w(double torque_nm, double speed_rad_s) const noexcept {
+  const auto& m = config_.machine;
+  // Copper: torque maps to q-current through the torque constant.
+  const double kt = 1.5 * m.pole_pairs * m.flux_linkage_wb;
+  const double iq = torque_nm / kt;
+  const double copper = 1.5 * m.stator_resistance_ohm * iq * iq;
+  // Iron: grows with electrical frequency squared.
+  const double omega_e = speed_rad_s * m.pole_pairs;
+  const double iron = config_.iron_loss_w_per_rad2 * omega_e * omega_e;
+  // Inverter: fixed + conduction proportional to mechanical throughput.
+  const double mech = std::fabs(torque_nm * speed_rad_s);
+  const double inverter = config_.inverter_fixed_loss_w + config_.inverter_loss_fraction * mech;
+  return copper + iron + inverter;
+}
+
+double MotorMap::electrical_power_w(double torque_nm, double speed_rad_s) const noexcept {
+  const double mech = torque_nm * speed_rad_s;
+  return mech + loss_w(torque_nm, speed_rad_s);
+}
+
+double MotorMap::efficiency(double torque_nm, double speed_rad_s) const noexcept {
+  const double mech = std::fabs(torque_nm * speed_rad_s);
+  if (mech <= 0.0) return 0.0;
+  const double loss = loss_w(torque_nm, speed_rad_s);
+  return mech / (mech + loss);
+}
+
+}  // namespace ev::powertrain

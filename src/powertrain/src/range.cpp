@@ -1,0 +1,29 @@
+#include "ev/powertrain/range.h"
+
+#include <algorithm>
+
+namespace ev::powertrain {
+
+void RangeEstimator::update(double energy_wh, double distance_m) noexcept {
+  pending_energy_wh_ += energy_wh;
+  pending_distance_m_ += distance_m;
+  if (pending_distance_m_ < 100.0) return;  // fold in 100 m granules
+  const double km = pending_distance_m_ / 1000.0;
+  const double observed = std::max(pending_energy_wh_ / km, 0.0);
+  const double w = std::min(smoothing_ * km * 10.0, 1.0);  // weight scales with distance
+  consumption_wh_km_ = (1.0 - w) * consumption_wh_km_ + w * observed;
+  pending_energy_wh_ = 0.0;
+  pending_distance_m_ = 0.0;
+}
+
+double RangeEstimator::remaining_range_km(double usable_energy_wh) const noexcept {
+  if (consumption_wh_km_ <= 1.0) return 0.0;
+  return std::max(usable_energy_wh, 0.0) / consumption_wh_km_;
+}
+
+bool RangeEstimator::reachable(double destination_km, double usable_energy_wh,
+                               double reserve_fraction) const noexcept {
+  return destination_km <= remaining_range_km(usable_energy_wh) * (1.0 - reserve_fraction);
+}
+
+}  // namespace ev::powertrain

@@ -1,0 +1,32 @@
+#include "ev/powertrain/regen.h"
+
+#include <algorithm>
+
+#include "ev/util/math.h"
+
+namespace ev::powertrain {
+
+BrakeSplit BrakeBlender::split(double brake_pedal, double speed_mps,
+                               double charge_limit_w) const noexcept {
+  BrakeSplit out;
+  const double pedal = util::clamp(brake_pedal, 0.0, 1.0);
+  const double total_force = pedal * config_.max_brake_force_n;
+  if (!config_.enabled || speed_mps <= 0.0) {
+    out.friction_force_n = total_force;
+    return out;
+  }
+  // Regen capability: bounded by battery/inverter power at speed and by the
+  // motor torque path at the wheel.
+  const double power_cap = std::min(config_.max_regen_power_w, std::max(charge_limit_w, 0.0));
+  double force_cap = speed_mps > 0.01
+                         ? std::min(power_cap / speed_mps, config_.max_regen_force_n)
+                         : 0.0;
+  // Low-speed fade: field-oriented regeneration loses authority near zero.
+  if (speed_mps < config_.fade_below_mps)
+    force_cap *= speed_mps / config_.fade_below_mps;
+  out.regen_force_n = std::min(total_force, force_cap);
+  out.friction_force_n = total_force - out.regen_force_n;
+  return out;
+}
+
+}  // namespace ev::powertrain

@@ -1,0 +1,46 @@
+#include "ev/powertrain/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ev::powertrain {
+
+double VehicleDynamics::road_load_n(double grade_rad) const noexcept {
+  const double drag =
+      0.5 * params_.air_density_kg_m3 * params_.drag_area_m2 * speed_ * speed_;
+  const double rolling = speed_ > 0.0 ? params_.rolling_resistance * params_.mass_kg *
+                                            params_.gravity_m_s2 * std::cos(grade_rad)
+                                      : 0.0;
+  const double grade = params_.mass_kg * params_.gravity_m_s2 * std::sin(grade_rad);
+  return drag + rolling + grade;
+}
+
+double VehicleDynamics::step(double traction_force_n, double dt_s, double grade_rad) noexcept {
+  const double net = traction_force_n - road_load_n(grade_rad);
+  double accel = net / params_.mass_kg;
+  double new_speed = speed_ + accel * dt_s;
+  if (new_speed < 0.0) {
+    // Braking cannot push the vehicle backwards; stop exactly at zero.
+    accel = -speed_ / dt_s;
+    new_speed = 0.0;
+  }
+  distance_ += (speed_ + new_speed) * 0.5 * dt_s;
+  speed_ = new_speed;
+  return accel;
+}
+
+double VehicleDynamics::motor_speed_rad_s() const noexcept {
+  return speed_ / params_.wheel_radius_m * params_.gear_ratio;
+}
+
+double VehicleDynamics::wheel_force_n(double torque_nm) const noexcept {
+  return torque_nm * params_.gear_ratio * params_.driveline_efficiency /
+         params_.wheel_radius_m;
+}
+
+double VehicleDynamics::motor_torque_nm(double force_n) const noexcept {
+  return force_n * params_.wheel_radius_m /
+         (params_.gear_ratio * params_.driveline_efficiency);
+}
+
+}  // namespace ev::powertrain

@@ -1,0 +1,53 @@
+/// \file integration.h
+/// Modular schedule integration ([18], Sagstetter et al.): each subsystem is
+/// scheduled independently (small, fast local problems); the integration
+/// phase then searches only one rigid time shift per subsystem so that the
+/// combined schedules are conflict-free on shared resources. This mirrors
+/// the automotive supply chain — components arrive with a valid local
+/// configuration and are integrated late — and is the paper's proposed
+/// remedy for the scalability wall of monolithic synthesis.
+#pragma once
+
+#include <vector>
+
+#include "ev/scheduling/model.h"
+#include "ev/scheduling/synthesis.h"
+
+namespace ev::scheduling {
+
+/// A subsystem: an independently designed component with its own activities.
+struct Subsystem {
+  std::string name;
+  System system;  ///< Local synthesis problem (resource ids are global).
+};
+
+/// Result of the integration phase.
+struct IntegrationResult {
+  bool feasible = false;
+  std::vector<Schedule> local;            ///< Local schedules per subsystem.
+  std::vector<std::int64_t> shift_us;     ///< Applied shift per subsystem.
+  std::size_t search_steps = 0;           ///< Local + integration effort.
+
+  /// Global offset of activity \p a (position in subsystem \p s).
+  [[nodiscard]] std::int64_t global_offset_us(std::size_t s, std::size_t a) const {
+    return local.at(s).offset_us.at(a) + shift_us.at(s);
+  }
+};
+
+/// Two-phase modular scheduler.
+class ScheduleIntegrator {
+ public:
+  explicit ScheduleIntegrator(SynthesisOptions local_options = {},
+                              std::int64_t shift_granularity_us = 250) noexcept
+      : local_options_(local_options), shift_granularity_us_(shift_granularity_us) {}
+
+  /// Schedules every subsystem locally, then searches shifts that integrate
+  /// them; fails if any local problem or the shift search is infeasible.
+  [[nodiscard]] IntegrationResult integrate(const std::vector<Subsystem>& subsystems) const;
+
+ private:
+  SynthesisOptions local_options_;
+  std::int64_t shift_granularity_us_;
+};
+
+}  // namespace ev::scheduling

@@ -1,0 +1,67 @@
+/// \file model.h
+/// Task/message model for time-triggered schedule synthesis (Section 3.1 of
+/// the paper, following [17] and [18]). Tasks on ECUs and messages on buses
+/// are both "activities" competing for exclusive, strictly periodic access
+/// to a resource; precedences link them into sensing-computing-actuating
+/// chains with end-to-end requirements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev::scheduling {
+
+/// Resource index: an ECU or a bus. The synthesis only needs exclusivity,
+/// so both are plain indices in one space.
+using ResourceId = int;
+
+/// One strictly periodic, non-preemptive activity (task execution or frame
+/// transmission). All times in integer microseconds.
+struct Activity {
+  int id = 0;                      ///< Unique activity id.
+  std::string name;                ///< Human-readable label.
+  ResourceId resource = 0;         ///< Hosting ECU or bus.
+  std::int64_t period_us = 10000;  ///< Activation period.
+  std::int64_t duration_us = 100;  ///< WCET or transmission time.
+  std::vector<int> predecessors;   ///< Activities that must finish first
+                                   ///< (same-period-instance semantics).
+};
+
+/// A cause-effect chain (sensor task -> message -> controller task -> ...)
+/// with an end-to-end deadline.
+struct Chain {
+  std::string name;
+  std::vector<int> activity_ids;  ///< In precedence order.
+  std::int64_t deadline_us = 0;   ///< End-to-end requirement (0 = none).
+};
+
+/// A complete synthesis problem.
+struct System {
+  std::vector<Activity> activities;
+  std::vector<Chain> chains;
+  std::int64_t offset_granularity_us = 50;  ///< Offset search step.
+};
+
+/// Computed schedule: one start offset per activity; all instances start at
+/// offset + k * period.
+struct Schedule {
+  bool feasible = false;
+  std::vector<std::int64_t> offset_us;  ///< Indexed by activity position in System.
+  std::size_t search_steps = 0;         ///< Candidate placements examined.
+};
+
+/// True when two strictly periodic activities with the given offsets would
+/// ever overlap on the same resource (classic gcd overlap criterion).
+[[nodiscard]] bool activities_conflict(std::int64_t offset_a, std::int64_t duration_a,
+                                       std::int64_t period_a, std::int64_t offset_b,
+                                       std::int64_t duration_b,
+                                       std::int64_t period_b) noexcept;
+
+/// Worst-case end-to-end latency of \p chain under \p schedule (first
+/// release to last completion, assuming synthesis placed the chain within
+/// one period instance). Returns -1 if the schedule is infeasible.
+[[nodiscard]] std::int64_t chain_latency_us(const System& system, const Schedule& schedule,
+                                            const Chain& chain);
+
+}  // namespace ev::scheduling

@@ -1,0 +1,39 @@
+/// \file synthesis.h
+/// Monolithic (global) time-triggered schedule synthesis: places every task
+/// and message of the system jointly, by topologically ordered greedy
+/// placement with chronological backtracking. This is the approach whose
+/// "limited scalability" the paper points out ([17]) — experiment E6
+/// measures exactly how the search effort grows with system size.
+#pragma once
+
+#include <cstddef>
+
+#include "ev/scheduling/model.h"
+
+namespace ev::scheduling {
+
+/// Synthesis tuning.
+struct SynthesisOptions {
+  std::size_t max_steps = 2'000'000;  ///< Search budget before giving up.
+  bool allow_backtracking = true;     ///< Disable for a pure greedy baseline.
+};
+
+/// Global scheduler.
+class MonolithicSynthesizer {
+ public:
+  explicit MonolithicSynthesizer(SynthesisOptions options = {}) noexcept
+      : options_(options) {}
+
+  /// Synthesizes offsets for every activity of \p system. Infeasibility (or
+  /// budget exhaustion) yields Schedule::feasible == false.
+  [[nodiscard]] Schedule synthesize(const System& system) const;
+
+ private:
+  SynthesisOptions options_;
+};
+
+/// Topological order of activities by precedence; throws std::invalid_argument
+/// on a cycle. Exposed for the integration stage and for tests.
+[[nodiscard]] std::vector<std::size_t> topological_order(const System& system);
+
+}  // namespace ev::scheduling

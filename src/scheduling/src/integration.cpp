@@ -1,0 +1,86 @@
+#include "ev/scheduling/integration.h"
+
+#include <algorithm>
+
+namespace ev::scheduling {
+
+namespace {
+
+/// Does subsystem \p s, shifted by \p shift, collide with any already
+/// integrated subsystem? Only same-resource activity pairs are checked.
+bool collides(const std::vector<Subsystem>& subsystems,
+              const std::vector<Schedule>& local,
+              const std::vector<std::int64_t>& shifts,
+              const std::vector<bool>& integrated, std::size_t s, std::int64_t shift,
+              std::size_t* steps) {
+  const System& sys_s = subsystems[s].system;
+  for (std::size_t t = 0; t < subsystems.size(); ++t) {
+    if (!integrated[t] || t == s) continue;
+    const System& sys_t = subsystems[t].system;
+    for (std::size_t a = 0; a < sys_s.activities.size(); ++a) {
+      for (std::size_t b = 0; b < sys_t.activities.size(); ++b) {
+        const Activity& aa = sys_s.activities[a];
+        const Activity& bb = sys_t.activities[b];
+        if (aa.resource != bb.resource) continue;
+        ++*steps;
+        if (activities_conflict(local[s].offset_us[a] + shift, aa.duration_us,
+                                aa.period_us, local[t].offset_us[b] + shifts[t],
+                                bb.duration_us, bb.period_us))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+IntegrationResult ScheduleIntegrator::integrate(
+    const std::vector<Subsystem>& subsystems) const {
+  IntegrationResult result;
+  result.local.reserve(subsystems.size());
+  result.shift_us.assign(subsystems.size(), 0);
+
+  // Phase 1: independent local synthesis (cheap: each problem is small).
+  const MonolithicSynthesizer local_synth(local_options_);
+  for (const Subsystem& sub : subsystems) {
+    Schedule s = local_synth.synthesize(sub.system);
+    result.search_steps += s.search_steps;
+    if (!s.feasible) return result;  // a component without a valid local config
+    result.local.push_back(std::move(s));
+  }
+
+  // Phase 2: greedy shift assignment, largest subsystem first (hardest to
+  // place), searching one scalar per subsystem.
+  std::vector<std::size_t> order(subsystems.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return subsystems[a].system.activities.size() > subsystems[b].system.activities.size();
+  });
+
+  std::vector<bool> integrated(subsystems.size(), false);
+  for (std::size_t s : order) {
+    // The shift only matters modulo the subsystem's smallest period.
+    std::int64_t min_period = INT64_MAX;
+    for (const Activity& a : subsystems[s].system.activities)
+      min_period = std::min(min_period, a.period_us);
+    if (subsystems[s].system.activities.empty()) min_period = shift_granularity_us_;
+
+    bool placed = false;
+    for (std::int64_t shift = 0; shift < min_period; shift += shift_granularity_us_) {
+      if (!collides(subsystems, result.local, result.shift_us, integrated, s, shift,
+                    &result.search_steps)) {
+        result.shift_us[s] = shift;
+        integrated[s] = true;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return result;  // integration infeasible at this granularity
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace ev::scheduling

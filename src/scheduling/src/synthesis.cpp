@@ -1,0 +1,166 @@
+#include "ev/scheduling/synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ev/util/math.h"
+
+namespace ev::scheduling {
+
+bool activities_conflict(std::int64_t offset_a, std::int64_t duration_a,
+                         std::int64_t period_a, std::int64_t offset_b,
+                         std::int64_t duration_b, std::int64_t period_b) noexcept {
+  // Two strictly periodic reservations overlap somewhere in the hyperperiod
+  // iff the offset difference modulo gcd(Ta, Tb) falls inside the combined
+  // occupancy window (Korst et al. criterion).
+  const std::int64_t g = util::gcd64(period_a, period_b);
+  std::int64_t d = (offset_b - offset_a) % g;
+  if (d < 0) d += g;
+  return d < duration_a || g - d < duration_b;
+}
+
+std::vector<std::size_t> topological_order(const System& system) {
+  const std::size_t n = system.activities.size();
+  std::map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of[system.activities[i].id] = i;
+
+  std::vector<int> in_degree(n, 0);
+  std::vector<std::vector<std::size_t>> successors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int pred : system.activities[i].predecessors) {
+      const auto it = index_of.find(pred);
+      if (it == index_of.end())
+        throw std::invalid_argument("topological_order: unknown predecessor id");
+      successors[it->second].push_back(i);
+      ++in_degree[i];
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (in_degree[i] == 0) ready.push_back(i);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (std::size_t s : successors[v])
+      if (--in_degree[s] == 0) ready.push_back(s);
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("topological_order: precedence graph has a cycle");
+  return order;
+}
+
+namespace {
+
+/// Earliest start bound from already-placed predecessors.
+std::int64_t precedence_bound(const System& system,
+                              const std::map<int, std::size_t>& index_of,
+                              const std::vector<std::int64_t>& offsets,
+                              const std::vector<bool>& placed, std::size_t i) {
+  std::int64_t bound = 0;
+  for (int pred : system.activities[i].predecessors) {
+    const std::size_t p = index_of.at(pred);
+    if (!placed[p]) continue;  // should not happen in topological order
+    bound = std::max(bound, offsets[p] + system.activities[p].duration_us);
+  }
+  return bound;
+}
+
+/// First offset >= \p from that is conflict-free on the activity's resource;
+/// search window is [lower_bound, lower_bound + period). Returns -1 if none.
+std::int64_t find_offset(const System& system, const std::vector<std::int64_t>& offsets,
+                         const std::vector<bool>& placed, std::size_t i,
+                         std::int64_t lower_bound, std::int64_t from,
+                         std::size_t* steps) {
+  const Activity& a = system.activities[i];
+  const std::int64_t step = std::max<std::int64_t>(system.offset_granularity_us, 1);
+  for (std::int64_t o = std::max(lower_bound, from); o < lower_bound + a.period_us;
+       o += step) {
+    ++*steps;
+    bool ok = true;
+    for (std::size_t j = 0; j < system.activities.size() && ok; ++j) {
+      if (!placed[j] || j == i) continue;
+      const Activity& b = system.activities[j];
+      if (b.resource != a.resource) continue;
+      if (activities_conflict(o, a.duration_us, a.period_us, offsets[j], b.duration_us,
+                              b.period_us))
+        ok = false;
+    }
+    if (ok) return o;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Schedule MonolithicSynthesizer::synthesize(const System& system) const {
+  Schedule result;
+  result.offset_us.assign(system.activities.size(), 0);
+  if (system.activities.empty()) {
+    result.feasible = true;
+    return result;
+  }
+
+  const std::vector<std::size_t> order = topological_order(system);
+  std::map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < system.activities.size(); ++i)
+    index_of[system.activities[i].id] = i;
+
+  std::vector<std::int64_t> offsets(system.activities.size(), 0);
+  std::vector<bool> placed(system.activities.size(), false);
+  // retry_from[k]: next candidate offset to try for order position k when
+  // backtracked into.
+  std::vector<std::int64_t> retry_from(order.size(), 0);
+
+  std::size_t steps = 0;
+  std::size_t k = 0;
+  while (k < order.size()) {
+    if (steps >= options_.max_steps) {
+      result.search_steps = steps;
+      return result;  // budget exhausted: infeasible verdict
+    }
+    const std::size_t i = order[k];
+    const std::int64_t lb = precedence_bound(system, index_of, offsets, placed, i);
+    const std::int64_t o =
+        find_offset(system, offsets, placed, i, lb, retry_from[k], &steps);
+    if (o >= 0) {
+      offsets[i] = o;
+      placed[i] = true;
+      // When we come back to this position after backtracking, resume past o.
+      retry_from[k] = o + std::max<std::int64_t>(system.offset_granularity_us, 1);
+      ++k;
+      if (k < order.size()) retry_from[k] = 0;
+    } else {
+      if (!options_.allow_backtracking || k == 0) {
+        result.search_steps = steps;
+        return result;
+      }
+      // Chronological backtracking: unplace the previous activity and force
+      // it to its next alternative.
+      --k;
+      placed[order[k]] = false;
+    }
+  }
+
+  result.feasible = true;
+  result.offset_us = offsets;
+  result.search_steps = steps;
+  return result;
+}
+
+std::int64_t chain_latency_us(const System& system, const Schedule& schedule,
+                              const Chain& chain) {
+  if (!schedule.feasible || chain.activity_ids.empty()) return -1;
+  std::map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < system.activities.size(); ++i)
+    index_of[system.activities[i].id] = i;
+  const std::size_t first = index_of.at(chain.activity_ids.front());
+  const std::size_t last = index_of.at(chain.activity_ids.back());
+  return schedule.offset_us[last] + system.activities[last].duration_us -
+         schedule.offset_us[first];
+}
+
+}  // namespace ev::scheduling

@@ -1,0 +1,91 @@
+/// \file charging.h
+/// Charging-plug communication security ([35],[36]): the paper's concrete
+/// EV-specific threat is a man-in-the-middle on the connector between car
+/// and charging station (billing fraud, malicious V2G commands). This module
+/// implements the charging session protocol with optional challenge-response
+/// mutual authentication and an active attacker model, so experiment E11
+/// can demonstrate which attacks succeed with and without the defence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ev/security/hmac.h"
+#include "ev/util/rng.h"
+
+namespace ev::security {
+
+/// A message on the charging connector's communication pair.
+struct ChargeMessage {
+  enum class Type : std::uint8_t {
+    kSessionStart,
+    kChallenge,
+    kChallengeResponse,
+    kMeterReport,   ///< Periodic energy accounting (basis for billing).
+    kV2gCommand,    ///< Grid-initiated power setpoint.
+    kSessionEnd,
+  };
+  Type type = Type::kSessionStart;
+  std::vector<std::uint8_t> body;
+  std::vector<std::uint8_t> tag;  ///< HMAC over type||body (empty if unauthenticated).
+};
+
+/// Protocol configuration shared by both endpoints.
+struct ChargingConfig {
+  bool authenticate = true;      ///< Run challenge-response + per-message MACs.
+  double meter_period_s = 1.0;   ///< Metering report interval.
+};
+
+/// Outcome of a completed (or aborted) session.
+struct SessionOutcome {
+  bool completed = false;
+  bool authenticated = false;
+  double billed_kwh = 0.0;          ///< What the station will invoice.
+  double delivered_kwh = 0.0;       ///< Ground truth delivered energy.
+  std::size_t rejected_messages = 0;  ///< Messages dropped by MAC/freshness checks.
+  std::size_t accepted_v2g_commands = 0;
+  std::string abort_reason;
+};
+
+/// The attacker sitting on the connector. Pass-through unless an attack is
+/// armed.
+class MitmAttacker {
+ public:
+  enum class Attack {
+    kNone,
+    kInflateBilling,  ///< Multiply reported meter values.
+    kInjectV2g,       ///< Inject a grid discharge command.
+    kReplayMeter,     ///< Replay a captured meter report.
+  };
+
+  explicit MitmAttacker(Attack attack = Attack::kNone) noexcept : attack_(attack) {}
+
+  /// Applies the armed attack to a message in transit (either direction).
+  /// Returns the possibly modified message plus any injected extras.
+  [[nodiscard]] std::vector<ChargeMessage> intercept(const ChargeMessage& msg);
+
+  [[nodiscard]] Attack attack() const noexcept { return attack_; }
+  /// Messages the attacker tampered with or injected.
+  [[nodiscard]] std::size_t tampered() const noexcept { return tampered_; }
+
+ private:
+  Attack attack_;
+  std::size_t tampered_ = 0;
+  std::optional<ChargeMessage> captured_meter_;
+};
+
+/// Runs a complete charging session of \p duration_s at \p power_kw between
+/// a vehicle and a station sharing \p credential (provisioned key material),
+/// with \p attacker on the wire. Returns the station-side outcome.
+///
+/// With authentication on, tampered/injected/replayed messages fail their
+/// MAC or freshness check and are rejected; billing then matches delivery.
+/// Without it, the armed attack succeeds.
+[[nodiscard]] SessionOutcome run_charging_session(const Key& credential,
+                                                  const ChargingConfig& config,
+                                                  MitmAttacker& attacker, double power_kw,
+                                                  double duration_s, util::Rng& rng);
+
+}  // namespace ev::security

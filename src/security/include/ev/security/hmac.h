@@ -1,0 +1,34 @@
+/// \file hmac.h
+/// HMAC-SHA-256 (RFC 2104), constant-time tag comparison, and a minimal
+/// HKDF-style key derivation — the authentication primitives behind secure
+/// in-vehicle communication and the charging challenge-response ([36]).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ev/security/sha256.h"
+
+namespace ev::security {
+
+/// A symmetric key (arbitrary length; 32 bytes recommended).
+using Key = std::vector<std::uint8_t>;
+
+/// HMAC-SHA-256 of \p message under \p key.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+/// Constant-time equality of two byte strings (length leak only). Unequal
+/// lengths compare false.
+[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b) noexcept;
+
+/// Derives a sub-key from \p master bound to \p context (HKDF-expand-style,
+/// single block): HMAC(master, context || 0x01) truncated to \p length
+/// (max 32).
+[[nodiscard]] Key derive_key(std::span<const std::uint8_t> master,
+                             std::span<const std::uint8_t> context,
+                             std::size_t length = 32);
+
+}  // namespace ev::security

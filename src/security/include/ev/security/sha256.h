@@ -1,0 +1,40 @@
+/// \file sha256.h
+/// SHA-256 (FIPS 180-4), implemented from scratch for the security layer of
+/// Section 4.2: message authentication on the in-vehicle network and the
+/// charging-plug challenge-response both build on it via HMAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ev::security {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs \p data.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  [[nodiscard]] Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ev::security

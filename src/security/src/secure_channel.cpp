@@ -1,0 +1,99 @@
+#include "ev/security/secure_channel.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ev::security {
+
+SecureChannel::SecureChannel(Key master_key, std::uint32_t channel_id, ChannelConfig config)
+    : config_(config) {
+  if (config.tag_bytes < 4 || config.tag_bytes > 32)
+    throw std::invalid_argument("SecureChannel: tag must be 4..32 bytes");
+  if (config.counter_bytes < 2 || config.counter_bytes > 8)
+    throw std::invalid_argument("SecureChannel: counter must be 2..8 bytes");
+  std::vector<std::uint8_t> ctx_enc = {'e', 'n', 'c',
+                                       static_cast<std::uint8_t>(channel_id >> 24),
+                                       static_cast<std::uint8_t>(channel_id >> 16),
+                                       static_cast<std::uint8_t>(channel_id >> 8),
+                                       static_cast<std::uint8_t>(channel_id)};
+  std::vector<std::uint8_t> ctx_mac = ctx_enc;
+  ctx_mac[0] = 'm';
+  ctx_mac[1] = 'a';
+  ctx_mac[2] = 'c';
+  send_key_ = derive_key(master_key, ctx_enc, 32);
+  recv_key_ = send_key_;
+  mac_key_ = derive_key(master_key, ctx_mac, 32);
+}
+
+std::optional<std::size_t> SecureChannel::max_plaintext(std::size_t frame_payload) const {
+  if (frame_payload <= overhead_bytes()) return std::nullopt;
+  return frame_payload - overhead_bytes();
+}
+
+std::vector<std::uint8_t> SecureChannel::crypt(std::uint64_t counter,
+                                               std::span<const std::uint8_t> data) const {
+  std::array<std::uint8_t, 12> nonce{};
+  for (int i = 0; i < 8; ++i) nonce[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(counter >> (8 * i));
+  ChaCha20 cipher(send_key_, nonce);
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  cipher.apply(out);
+  return out;
+}
+
+Digest SecureChannel::tag_of(std::uint64_t counter,
+                             std::span<const std::uint8_t> ciphertext) const {
+  std::vector<std::uint8_t> mac_input;
+  mac_input.reserve(8 + ciphertext.size());
+  for (int i = 0; i < 8; ++i) mac_input.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+  mac_input.insert(mac_input.end(), ciphertext.begin(), ciphertext.end());
+  return hmac_sha256(mac_key_, mac_input);
+}
+
+std::vector<std::uint8_t> SecureChannel::protect(std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t counter = ++send_counter_;
+  const std::vector<std::uint8_t> ciphertext =
+      config_.encrypt ? crypt(counter, plaintext)
+                      : std::vector<std::uint8_t>(plaintext.begin(), plaintext.end());
+  const Digest tag = tag_of(counter, ciphertext);
+
+  std::vector<std::uint8_t> wire;
+  wire.reserve(config_.counter_bytes + ciphertext.size() + config_.tag_bytes);
+  for (std::size_t i = 0; i < config_.counter_bytes; ++i)
+    wire.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+  wire.insert(wire.end(), ciphertext.begin(), ciphertext.end());
+  wire.insert(wire.end(), tag.begin(), tag.begin() + static_cast<std::ptrdiff_t>(config_.tag_bytes));
+  return wire;
+}
+
+std::optional<std::vector<std::uint8_t>> SecureChannel::unprotect(
+    std::span<const std::uint8_t> wire, ChannelStatus* status) {
+  auto fail = [&](ChannelStatus s) {
+    if (status) *status = s;
+    return std::nullopt;
+  };
+  if (wire.size() < overhead_bytes()) return fail(ChannelStatus::kMalformed);
+
+  std::uint64_t counter = 0;
+  for (std::size_t i = 0; i < config_.counter_bytes; ++i)
+    counter |= static_cast<std::uint64_t>(wire[i]) << (8 * i);
+  const std::span<const std::uint8_t> ciphertext =
+      wire.subspan(config_.counter_bytes, wire.size() - overhead_bytes());
+  const std::span<const std::uint8_t> tag = wire.subspan(wire.size() - config_.tag_bytes);
+
+  const Digest expected = tag_of(counter, ciphertext);
+  if (!constant_time_equal(tag, std::span<const std::uint8_t>(expected.data(),
+                                                              config_.tag_bytes))) {
+    ++bad_tag_;
+    return fail(ChannelStatus::kBadTag);
+  }
+  if (counter <= highest_received_) {
+    ++replayed_;
+    return fail(ChannelStatus::kReplayed);
+  }
+  highest_received_ = counter;
+  if (status) *status = ChannelStatus::kOk;
+  if (!config_.encrypt) return std::vector<std::uint8_t>(ciphertext.begin(), ciphertext.end());
+  return crypt(counter, ciphertext);
+}
+
+}  // namespace ev::security

@@ -1,0 +1,89 @@
+/// \file simulator.h
+/// Discrete-event simulation kernel. All networked and scheduled behaviour in
+/// evsys (buses, ECUs, middleware dispatch, charging protocol) executes as
+/// events on this kernel; continuous plant models (battery, motor, vehicle)
+/// are advanced by fixed-step events layered on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ev/sim/time.h"
+
+namespace ev::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event simulator with deterministic FIFO tie
+/// breaking: events at equal timestamps fire in scheduling order.
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Starts at zero.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules \p handler to fire at absolute time \p at (>= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(Time at, Handler handler);
+
+  /// Schedules \p handler to fire \p delay after the current time.
+  EventId schedule_in(Time delay, Handler handler);
+
+  /// Schedules \p handler every \p period starting at absolute time \p first;
+  /// repeats until cancelled (cancel removes all future repetitions).
+  EventId schedule_periodic(Time first, Time period, Handler handler);
+
+  /// Cancels a pending (or periodic) event. Returns true if the id was alive.
+  bool cancel(EventId id);
+
+  /// Runs events with timestamp <= \p until; afterwards now() == \p until
+  /// unless the queue drained earlier. Returns events dispatched.
+  std::size_t run_until(Time until);
+
+  /// Runs until the event queue is fully drained. Returns events dispatched.
+  std::size_t run();
+
+  /// Dispatches exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  /// Number of live events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+ private:
+  struct Scheduled {
+    Time at;
+    std::uint64_t seq;  // FIFO tie break for equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct Entry {
+    Handler handler;
+    Time period{};
+    bool periodic = false;
+  };
+
+  EventId enqueue(Time at, Handler handler, bool periodic, Time period);
+
+  Time now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::unordered_map<EventId, Entry> live_;
+};
+
+}  // namespace ev::sim

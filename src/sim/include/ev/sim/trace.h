@@ -1,0 +1,57 @@
+/// \file trace.h
+/// Time-stamped sample recording for simulation signals (cell voltages,
+/// phase currents, bus latencies). Traces feed the statistics and table
+/// rendering in the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ev/sim/time.h"
+#include "ev/util/stats.h"
+
+namespace ev::sim {
+
+/// One recorded observation of a scalar signal.
+struct TracePoint {
+  Time at;       ///< Simulation time of the observation.
+  double value;  ///< Observed value in the signal's unit.
+};
+
+/// Append-only scalar signal trace with summary statistics.
+class Trace {
+ public:
+  /// Creates a trace labelled \p name (unit-bearing, e.g. "cell0.voltage [V]").
+  explicit Trace(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Records \p value at time \p at.
+  void record(Time at, double value) {
+    points_.push_back(TracePoint{at, value});
+    stats_.add(value);
+  }
+
+  /// Signal label.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// All recorded points in time order (record() must be called in order).
+  [[nodiscard]] const std::vector<TracePoint>& points() const noexcept { return points_; }
+  /// Number of recorded points.
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  /// True when nothing has been recorded.
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  /// Streaming statistics over all recorded values.
+  [[nodiscard]] const util::RunningStats& stats() const noexcept { return stats_; }
+  /// Last recorded value; throws when empty.
+  [[nodiscard]] double last() const { return points_.at(points_.size() - 1).value; }
+
+  /// Linear interpolation of the signal at time \p at; clamps outside the
+  /// recorded range. Throws when empty.
+  [[nodiscard]] double sample_at(Time at) const;
+
+ private:
+  std::string name_;
+  std::vector<TracePoint> points_;
+  util::RunningStats stats_;
+};
+
+}  // namespace ev::sim

@@ -1,0 +1,93 @@
+#include "ev/sim/simulator.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ev::sim {
+
+std::string Time::to_string() const {
+  std::ostringstream out;
+  const std::int64_t n = ns_;
+  if (n % 1'000'000'000 == 0)
+    out << n / 1'000'000'000 << " s";
+  else if (n % 1'000'000 == 0)
+    out << n / 1'000'000 << " ms";
+  else if (n % 1'000 == 0)
+    out << n / 1'000 << " us";
+  else
+    out << n << " ns";
+  return out.str();
+}
+
+EventId Simulator::enqueue(Time at, Handler handler, bool periodic, Time period) {
+  if (at < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{at, next_seq_++, id});
+  live_.emplace(id, Entry{std::move(handler), period, periodic});
+  return id;
+}
+
+EventId Simulator::schedule_at(Time at, Handler handler) {
+  return enqueue(at, std::move(handler), /*periodic=*/false, Time{});
+}
+
+EventId Simulator::schedule_in(Time delay, Handler handler) {
+  return enqueue(now_ + delay, std::move(handler), /*periodic=*/false, Time{});
+}
+
+EventId Simulator::schedule_periodic(Time first, Time period, Handler handler) {
+  if (period <= Time{}) throw std::invalid_argument("Simulator: period must be positive");
+  return enqueue(first, std::move(handler), /*periodic=*/true, period);
+}
+
+bool Simulator::cancel(EventId id) { return live_.erase(id) != 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Scheduled top = queue_.top();
+    auto it = live_.find(top.id);
+    if (it == live_.end()) {
+      queue_.pop();  // cancelled event; discard lazily
+      continue;
+    }
+    queue_.pop();
+    now_ = top.at;
+    if (it->second.periodic) {
+      // Re-arm before dispatch so the handler may cancel its own repetition.
+      const Time next = top.at + it->second.period;
+      Handler handler = it->second.handler;
+      queue_.push(Scheduled{next, next_seq_++, top.id});
+      handler();
+    } else {
+      Handler handler = std::move(it->second.handler);
+      live_.erase(it);
+      handler();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(Time until) {
+  std::size_t dispatched = 0;
+  while (!queue_.empty()) {
+    const Scheduled& top = queue_.top();
+    if (!live_.contains(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    if (step()) ++dispatched;
+  }
+  if (now_ < until) now_ = until;
+  return dispatched;
+}
+
+std::size_t Simulator::run() {
+  std::size_t dispatched = 0;
+  while (step()) ++dispatched;
+  return dispatched;
+}
+
+}  // namespace ev::sim

@@ -1,0 +1,23 @@
+#include "ev/sim/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ev::sim {
+
+double Trace::sample_at(Time at) const {
+  if (points_.empty()) throw std::out_of_range("Trace::sample_at on empty trace");
+  if (at <= points_.front().at) return points_.front().value;
+  if (at >= points_.back().at) return points_.back().value;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), at,
+      [](const TracePoint& p, Time t) { return p.at < t; });
+  const TracePoint& hi = *it;
+  const TracePoint& lo = *(it - 1);
+  if (hi.at == lo.at) return hi.value;
+  const double frac = static_cast<double>((at - lo.at).count_ns()) /
+                      static_cast<double>((hi.at - lo.at).count_ns());
+  return lo.value + (hi.value - lo.value) * frac;
+}
+
+}  // namespace ev::sim

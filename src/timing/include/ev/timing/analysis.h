@@ -1,0 +1,77 @@
+/// \file analysis.h
+/// Static cache/WCET analyses of Section 4.1:
+///  - Abstract-interpretation must-analysis ([30], Theiling/Ferdinand/
+///    Wilhelm): scalable, sound, loses precision — and for FIFO/PLRU the
+///    guarantees shrink further via the published relative-competitiveness
+///    reductions to LRU.
+///  - Precise path-enumeration analysis ([31]): exact concrete cache states
+///    along every path — tight but exponential in program size.
+///  - Classification-based WCET bound and simulation-based observed WCET,
+///    whose ratio quantifies the precision/scalability trade-off of E9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ev/timing/cache.h"
+#include "ev/timing/program.h"
+#include "ev/util/rng.h"
+
+namespace ev::timing {
+
+/// Static classification of one access point.
+enum class Classification {
+  kAlwaysHit,      ///< Proven hit on every execution.
+  kAlwaysMiss,     ///< Proven miss on every execution (collecting only).
+  kNotClassified,  ///< Unknown: the WCET bound must assume a miss.
+};
+
+/// Per-block classification: one entry per access, for the first loop
+/// iteration and for the steady state of later iterations.
+struct BlockClassification {
+  std::vector<Classification> first_iteration;
+  std::vector<Classification> steady_state;
+};
+
+/// Result of a classification analysis over a whole program.
+struct AnalysisResult {
+  std::vector<BlockClassification> blocks;  ///< Indexed like Program::blocks.
+  std::size_t states_explored = 0;          ///< Work measure (abstract or concrete).
+};
+
+/// Abstract must-analysis. Sound for all three policies: LRU is analysed at
+/// full associativity; FIFO and tree-PLRU are analysed through their
+/// relative-competitiveness reduction (FIFO(k) -> LRU(1),
+/// PLRU(k) -> LRU(log2 k + 1)), which is exactly why those policies obtain
+/// far fewer guaranteed hits.
+[[nodiscard]] AnalysisResult must_analysis(const Program& program, const CacheConfig& config);
+
+/// Precise collecting analysis: propagates *sets of exact cache states*
+/// through the CFG, classifying each access against every reachable state.
+/// Exponential in the number of branches; \p max_states caps the explored
+/// state-set size per block (beyond it the analysis degrades the block to
+/// NotClassified, mirroring the scalability failure of [31]).
+[[nodiscard]] AnalysisResult collecting_analysis(const Program& program,
+                                                 const CacheConfig& config,
+                                                 std::size_t max_states = 1 << 16);
+
+/// WCET bound from a classification: NotClassified and AlwaysMiss cost a
+/// miss; longest path over the DAG with per-block
+/// first + (iterations-1) * steady cost.
+[[nodiscard]] std::int64_t wcet_bound_cycles(const Program& program,
+                                             const CacheConfig& config,
+                                             const AnalysisResult& analysis);
+
+/// Exact WCET by exhaustive path enumeration with concrete cache simulation.
+/// Returns -1 when the program has more than \p max_paths paths.
+[[nodiscard]] std::int64_t exact_wcet_cycles(const Program& program,
+                                             const CacheConfig& config,
+                                             double max_paths = 4e6);
+
+/// Observed execution time: simulates \p samples random paths and returns
+/// the maximum observed cycle count (a lower bound on the true WCET).
+[[nodiscard]] std::int64_t observed_wcet_cycles(const Program& program,
+                                                const CacheConfig& config,
+                                                std::size_t samples, util::Rng& rng);
+
+}  // namespace ev::timing

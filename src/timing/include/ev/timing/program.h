@@ -1,0 +1,52 @@
+/// \file program.h
+/// Program model for static timing analysis (Section 4.1, "Precise Timing
+/// Analysis"): an acyclic control-flow graph of basic blocks, each with its
+/// sequence of memory accesses and a loop-iteration bound (loops are
+/// pre-summarized into block iteration counts, the standard simplification
+/// for path-based WCET). A deterministic generator produces synthetic
+/// programs with controllable size and locality for the E9 sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ev/util/rng.h"
+
+namespace ev::timing {
+
+/// A basic block: straight-line code touching a sequence of memory lines.
+struct BasicBlock {
+  int id = 0;
+  std::vector<std::uint64_t> accesses;  ///< Memory line addresses, in order.
+  std::int64_t iterations = 1;          ///< Execution-count bound (loop bound).
+  std::vector<int> successors;          ///< Outgoing CFG edges (block ids).
+};
+
+/// An acyclic CFG with a unique entry (first block) and implicit exits
+/// (blocks without successors).
+struct Program {
+  std::vector<BasicBlock> blocks;  ///< Block ids equal their index.
+
+  /// All blocks in topological order (ids). Throws on a cycle.
+  [[nodiscard]] std::vector<int> topological_order() const;
+  /// Total number of memory accesses across all blocks (static count).
+  [[nodiscard]] std::size_t access_count() const noexcept;
+  /// Number of structurally distinct entry-to-exit paths.
+  [[nodiscard]] double path_count() const;
+};
+
+/// Generator knobs.
+struct ProgramGenConfig {
+  std::size_t segments = 10;       ///< Sequential segments (each a block or a diamond).
+  double branch_probability = 0.5; ///< Chance a segment is an if/else diamond.
+  std::size_t accesses_per_block = 12;
+  std::size_t working_set_lines = 24;  ///< Hot pool the blocks draw from.
+  double reuse_probability = 0.7;      ///< Chance an access hits the hot pool.
+  std::int64_t max_loop_iterations = 8;
+  double loop_probability = 0.3;       ///< Chance a block carries a loop bound.
+};
+
+/// Deterministically generates a synthetic program from \p rng.
+[[nodiscard]] Program generate_program(const ProgramGenConfig& config, util::Rng& rng);
+
+}  // namespace ev::timing

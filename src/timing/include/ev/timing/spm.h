@@ -1,0 +1,44 @@
+/// \file spm.h
+/// Scratchpad memory allocation ([32]): the software-controlled alternative
+/// to caches. Allocation is decided at compile time, so every access cost is
+/// statically known — the WCET bound is *exact* (predictability), at the
+/// price of lower average performance than a well-behaved cache. Experiment
+/// E9 reports both sides of that trade.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ev/timing/program.h"
+
+namespace ev::timing {
+
+/// SPM geometry and timing.
+struct SpmConfig {
+  std::size_t capacity_lines = 16;  ///< Lines the scratchpad can hold.
+  std::size_t line_bytes = 64;
+  std::int64_t spm_cycles = 1;      ///< Access cost for allocated lines.
+  std::int64_t memory_cycles = 20;  ///< Access cost for everything else.
+};
+
+/// A computed allocation plus its exact WCET.
+struct SpmAllocation {
+  std::set<std::uint64_t> lines;       ///< Line base addresses placed in SPM.
+  std::int64_t wcet_cycles = 0;        ///< Exact longest-path execution time.
+  std::int64_t total_static_accesses = 0;
+  std::int64_t spm_static_accesses = 0;  ///< Accesses served by the SPM.
+};
+
+/// Computes worst-case per-line access frequencies (weighting each block by
+/// its iteration bound and the structurally worst path) and allocates the
+/// most frequently used lines to the SPM (optimal for uniform line sizes).
+/// Returns allocation and the exact WCET under it.
+[[nodiscard]] SpmAllocation allocate_spm(const Program& program, const SpmConfig& config);
+
+/// Exact WCET of \p program when \p lines are in the SPM (longest path with
+/// statically known access costs).
+[[nodiscard]] std::int64_t spm_wcet_cycles(const Program& program, const SpmConfig& config,
+                                           const std::set<std::uint64_t>& lines);
+
+}  // namespace ev::timing

@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "ev/timing/analysis.h"
+
+namespace ev::timing {
+
+namespace {
+
+/// Abstract must-cache: per set, an upper bound on each resident line's LRU
+/// age. A line is guaranteed resident iff its bound is < effective ways.
+struct MustState {
+  // One map per cache set: tag -> age upper bound.
+  std::vector<std::map<std::uint64_t, int>> sets;
+
+  bool operator==(const MustState& other) const { return sets == other.sets; }
+};
+
+/// Join at CFG merge points: only lines present in both survive, with the
+/// worse (larger) age bound.
+MustState join(const MustState& a, const MustState& b) {
+  MustState out;
+  out.sets.resize(a.sets.size());
+  for (std::size_t s = 0; s < a.sets.size(); ++s) {
+    for (const auto& [tag, age_a] : a.sets[s]) {
+      const auto it = b.sets[s].find(tag);
+      if (it != b.sets[s].end()) out.sets[s][tag] = std::max(age_a, it->second);
+    }
+  }
+  return out;
+}
+
+/// Must-update for one access under LRU with \p ways.
+void must_access(MustState& st, std::size_t set, std::uint64_t tag, int ways) {
+  auto& m = st.sets[set];
+  const auto it = m.find(tag);
+  const int old_age = it == m.end() ? ways : it->second;
+  // Lines younger than the accessed line's old age grow one step older.
+  for (auto& [t, age] : m) {
+    if (t == tag) continue;
+    if (age < old_age) ++age;
+  }
+  // Evict lines whose bound reached the associativity.
+  for (auto i = m.begin(); i != m.end();) {
+    if (i->second >= ways)
+      i = m.erase(i);
+    else
+      ++i;
+  }
+  m[tag] = 0;
+}
+
+/// Effective associativity for the must-analysis: published relative-
+/// competitiveness reductions (Reineke et al.): FIFO(k) gives LRU(1)
+/// guarantees; tree-PLRU(k) gives LRU(log2 k + 1).
+int effective_ways(const CacheConfig& config) {
+  switch (config.policy) {
+    case Replacement::kLru: return static_cast<int>(config.ways);
+    case Replacement::kFifo: return 1;
+    case Replacement::kPlru:
+      return static_cast<int>(std::bit_width(config.ways));  // log2(k) + 1
+  }
+  return 1;
+}
+
+}  // namespace
+
+AnalysisResult must_analysis(const Program& program, const CacheConfig& config) {
+  AnalysisResult result;
+  result.blocks.resize(program.blocks.size());
+  const int ways = effective_ways(config);
+  const std::vector<int> order = program.topological_order();
+
+  // Incoming abstract state per block (joined over predecessors).
+  std::vector<MustState> in_state(program.blocks.size());
+  std::vector<bool> has_state(program.blocks.size(), false);
+  MustState entry;
+  entry.sets.resize(config.sets);
+  in_state[static_cast<std::size_t>(order.front())] = entry;
+  has_state[static_cast<std::size_t>(order.front())] = true;
+
+  CacheSim geometry(config);  // only for set/tag decomposition
+
+  for (int id : order) {
+    const auto idx = static_cast<std::size_t>(id);
+    const BasicBlock& block = program.blocks[idx];
+    MustState st = in_state[idx];
+    BlockClassification cls;
+
+    // First iteration: classify against the incoming state.
+    for (std::uint64_t addr : block.accesses) {
+      const std::size_t set = geometry.set_of(addr);
+      const std::uint64_t tag = geometry.tag_of(addr);
+      const auto it = st.sets[set].find(tag);
+      const bool hit = it != st.sets[set].end() && it->second < ways;
+      cls.first_iteration.push_back(hit ? Classification::kAlwaysHit
+                                        : Classification::kNotClassified);
+      must_access(st, set, tag, ways);
+      ++result.states_explored;
+    }
+
+    // Steady state for loop blocks: iterate the block transfer to a local
+    // fixed point (bounded by associativity), then classify once more.
+    if (block.iterations > 1) {
+      MustState steady = st;
+      for (int round = 0; round < ways + 1; ++round) {
+        MustState next = steady;
+        for (std::uint64_t addr : block.accesses)
+          must_access(next, geometry.set_of(addr), geometry.tag_of(addr), ways);
+        next = join(next, steady);  // entry of another iteration
+        if (next == steady) break;
+        steady = next;
+      }
+      MustState scratch = steady;
+      for (std::uint64_t addr : block.accesses) {
+        const std::size_t set = geometry.set_of(addr);
+        const std::uint64_t tag = geometry.tag_of(addr);
+        const auto it = scratch.sets[set].find(tag);
+        const bool hit = it != scratch.sets[set].end() && it->second < ways;
+        cls.steady_state.push_back(hit ? Classification::kAlwaysHit
+                                       : Classification::kNotClassified);
+        must_access(scratch, set, tag, ways);
+        ++result.states_explored;
+      }
+      // The block's outgoing state after all iterations.
+      st = scratch;
+    } else {
+      cls.steady_state = cls.first_iteration;
+    }
+
+    result.blocks[idx] = std::move(cls);
+
+    for (int succ : block.successors) {
+      const auto sidx = static_cast<std::size_t>(succ);
+      if (!has_state[sidx]) {
+        in_state[sidx] = st;
+        has_state[sidx] = true;
+      } else {
+        in_state[sidx] = join(in_state[sidx], st);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ev::timing

@@ -1,0 +1,128 @@
+#include "ev/timing/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ev::timing {
+
+std::string to_string(Replacement policy) {
+  switch (policy) {
+    case Replacement::kLru: return "LRU";
+    case Replacement::kFifo: return "FIFO";
+    case Replacement::kPlru: return "PLRU";
+  }
+  return "?";
+}
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  if (config.sets == 0 || config.ways == 0)
+    throw std::invalid_argument("CacheSim: sets and ways must be positive");
+  if (config.policy == Replacement::kPlru && !std::has_single_bit(config.ways))
+    throw std::invalid_argument("CacheSim: PLRU needs power-of-two associativity");
+  sets_.resize(config.sets);
+  if (config.policy == Replacement::kPlru)
+    for (auto& s : sets_) s.plru_bits.assign(config.ways - 1, false);
+}
+
+std::size_t CacheSim::set_of(std::uint64_t address) const noexcept {
+  return (address / config_.line_bytes) % config_.sets;
+}
+
+std::uint64_t CacheSim::tag_of(std::uint64_t address) const noexcept {
+  return address / config_.line_bytes / config_.sets;
+}
+
+void CacheSim::set_state(std::vector<SetState> state) {
+  if (state.size() != sets_.size())
+    throw std::invalid_argument("CacheSim::set_state: wrong set count");
+  sets_ = std::move(state);
+}
+
+namespace {
+
+/// Tree-PLRU: follow the direction bits to the victim leaf, flipping visited
+/// bits away from the victim on the way (standard implementation).
+std::size_t plru_victim(std::vector<bool>& bits, std::size_t ways) {
+  std::size_t node = 0;
+  std::size_t leaf = 0;
+  std::size_t range = ways;
+  while (range > 1) {
+    const bool right = bits[node];
+    bits[node] = !right;  // point away from the chosen victim
+    range /= 2;
+    if (right) leaf += range;
+    node = 2 * node + 1 + (right ? 1 : 0);
+  }
+  return leaf;
+}
+
+/// Tree-PLRU touch: set the bits on the path to \p way to point away from it.
+void plru_touch(std::vector<bool>& bits, std::size_t ways, std::size_t way) {
+  std::size_t node = 0;
+  std::size_t lo = 0;
+  std::size_t range = ways;
+  while (range > 1) {
+    range /= 2;
+    const bool in_right = way >= lo + range;
+    bits[node] = !in_right;  // point to the *other* half
+    node = 2 * node + 1 + (in_right ? 1 : 0);
+    if (in_right) lo += range;
+  }
+}
+
+}  // namespace
+
+bool CacheSim::access_set(SetState& set, std::uint64_t tag) {
+  auto& lines = set.lines;
+  const auto it = std::find(lines.begin(), lines.end(), tag);
+  switch (config_.policy) {
+    case Replacement::kLru: {
+      if (it != lines.end()) {
+        // Move to MRU position (front).
+        lines.erase(it);
+        lines.insert(lines.begin(), tag);
+        return true;
+      }
+      lines.insert(lines.begin(), tag);
+      if (lines.size() > config_.ways) lines.pop_back();
+      return false;
+    }
+    case Replacement::kFifo: {
+      if (it != lines.end()) return true;  // FIFO: hits do not reorder
+      lines.push_back(tag);
+      if (lines.size() > config_.ways) lines.erase(lines.begin());
+      return false;
+    }
+    case Replacement::kPlru: {
+      if (it != lines.end()) {
+        plru_touch(set.plru_bits, config_.ways, static_cast<std::size_t>(it - lines.begin()));
+        return true;
+      }
+      if (lines.size() < config_.ways) {
+        lines.push_back(tag);
+        plru_touch(set.plru_bits, config_.ways, lines.size() - 1);
+        return false;
+      }
+      const std::size_t victim = plru_victim(set.plru_bits, config_.ways);
+      lines[victim] = tag;
+      plru_touch(set.plru_bits, config_.ways, victim);
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  const bool hit = access_set(sets_[set_of(address)], tag_of(address));
+  if (hit) {
+    ++hits_;
+    cycles_ += config_.hit_cycles;
+  } else {
+    ++misses_;
+    cycles_ += config_.miss_cycles;
+  }
+  return hit;
+}
+
+}  // namespace ev::timing

@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <set>
+
+#include "ev/timing/analysis.h"
+
+namespace ev::timing {
+
+AnalysisResult collecting_analysis(const Program& program, const CacheConfig& config,
+                                   std::size_t max_states) {
+  AnalysisResult result;
+  result.blocks.resize(program.blocks.size());
+  const std::vector<int> order = program.topological_order();
+
+  // Reachable concrete cache states at each block entry.
+  std::vector<std::set<std::vector<SetState>>> in_states(program.blocks.size());
+  in_states[static_cast<std::size_t>(order.front())].insert(
+      CacheSim(config).state());
+
+  for (int id : order) {
+    const auto idx = static_cast<std::size_t>(id);
+    const BasicBlock& block = program.blocks[idx];
+    const auto& incoming = in_states[idx];
+    BlockClassification cls;
+
+    const bool overflow = incoming.empty() || incoming.size() > max_states;
+    if (overflow) {
+      // Scalability wall: degrade soundly to "unknown" for this block.
+      cls.first_iteration.assign(block.accesses.size(), Classification::kNotClassified);
+      cls.steady_state = cls.first_iteration;
+      result.blocks[idx] = std::move(cls);
+      // Successors inherit an (unknown) empty-state marker: propagate one
+      // cold state to keep the analysis running; soundness of the WCET bound
+      // is preserved because these blocks classify as NC.
+      for (int succ : block.successors)
+        in_states[static_cast<std::size_t>(succ)].insert(CacheSim(config).state());
+      continue;
+    }
+
+    // Track per-access hit behaviour across every incoming state and every
+    // iteration.
+    const std::size_t n_acc = block.accesses.size();
+    std::vector<bool> all_hit_first(n_acc, true), all_miss_first(n_acc, true);
+    std::vector<bool> all_hit_steady(n_acc, true), all_miss_steady(n_acc, true);
+    std::set<std::vector<SetState>> outgoing;
+
+    for (const auto& state : incoming) {
+      CacheSim sim(config);
+      sim.set_state(state);
+      for (std::int64_t iter = 0; iter < block.iterations; ++iter) {
+        for (std::size_t a = 0; a < n_acc; ++a) {
+          const bool hit = sim.access(block.accesses[a]);
+          ++result.states_explored;
+          if (iter == 0) {
+            all_hit_first[a] = all_hit_first[a] && hit;
+            all_miss_first[a] = all_miss_first[a] && !hit;
+          } else {
+            all_hit_steady[a] = all_hit_steady[a] && hit;
+            all_miss_steady[a] = all_miss_steady[a] && !hit;
+          }
+        }
+      }
+      outgoing.insert(sim.state());
+    }
+
+    auto classify = [](bool all_hit, bool all_miss) {
+      if (all_hit) return Classification::kAlwaysHit;
+      if (all_miss) return Classification::kAlwaysMiss;
+      return Classification::kNotClassified;
+    };
+    for (std::size_t a = 0; a < n_acc; ++a) {
+      cls.first_iteration.push_back(classify(all_hit_first[a], all_miss_first[a]));
+      cls.steady_state.push_back(block.iterations > 1
+                                     ? classify(all_hit_steady[a], all_miss_steady[a])
+                                     : cls.first_iteration.back());
+    }
+    result.blocks[idx] = std::move(cls);
+
+    for (int succ : block.successors) {
+      auto& target = in_states[static_cast<std::size_t>(succ)];
+      target.insert(outgoing.begin(), outgoing.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace ev::timing

@@ -1,0 +1,116 @@
+#include "ev/timing/program.h"
+
+#include <stdexcept>
+
+namespace ev::timing {
+
+std::vector<int> Program::topological_order() const {
+  const std::size_t n = blocks.size();
+  std::vector<int> in_degree(n, 0);
+  for (const BasicBlock& b : blocks)
+    for (int s : b.successors) {
+      if (s < 0 || static_cast<std::size_t>(s) >= n)
+        throw std::invalid_argument("Program: successor out of range");
+      ++in_degree[static_cast<std::size_t>(s)];
+    }
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (in_degree[i] == 0) ready.push_back(static_cast<int>(i));
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (int s : blocks[static_cast<std::size_t>(v)].successors)
+      if (--in_degree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+  }
+  if (order.size() != n) throw std::invalid_argument("Program: CFG has a cycle");
+  return order;
+}
+
+std::size_t Program::access_count() const noexcept {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks) n += b.accesses.size();
+  return n;
+}
+
+double Program::path_count() const {
+  const std::vector<int> order = topological_order();
+  std::vector<double> paths(blocks.size(), 0.0);
+  paths[0] = 1.0;
+  double total = 0.0;
+  for (int id : order) {
+    const BasicBlock& b = blocks[static_cast<std::size_t>(id)];
+    if (b.successors.empty()) total += paths[static_cast<std::size_t>(id)];
+    for (int s : b.successors) paths[static_cast<std::size_t>(s)] += paths[static_cast<std::size_t>(id)];
+  }
+  return total;
+}
+
+namespace {
+
+std::uint64_t pick_address(const ProgramGenConfig& config, util::Rng& rng,
+                           std::uint64_t* next_cold) {
+  if (rng.bernoulli(config.reuse_probability)) {
+    return 0x1000 +
+           64 * static_cast<std::uint64_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(config.working_set_lines) - 1));
+  }
+  // Cold access: a fresh line never seen before (streaming data).
+  const std::uint64_t addr = *next_cold;
+  *next_cold += 64;
+  return addr;
+}
+
+BasicBlock make_block(int id, const ProgramGenConfig& config, util::Rng& rng,
+                      std::uint64_t* next_cold) {
+  BasicBlock b;
+  b.id = id;
+  b.accesses.reserve(config.accesses_per_block);
+  for (std::size_t i = 0; i < config.accesses_per_block; ++i)
+    b.accesses.push_back(pick_address(config, rng, next_cold));
+  if (rng.bernoulli(config.loop_probability))
+    b.iterations = rng.uniform_int(2, config.max_loop_iterations);
+  return b;
+}
+
+}  // namespace
+
+Program generate_program(const ProgramGenConfig& config, util::Rng& rng) {
+  Program prog;
+  std::uint64_t next_cold = 0x100000;
+  int next_id = 0;
+  int tail = -1;  // block waiting for a successor
+
+  auto append = [&](int id) {
+    if (tail >= 0) prog.blocks[static_cast<std::size_t>(tail)].successors.push_back(id);
+  };
+
+  for (std::size_t seg = 0; seg < config.segments; ++seg) {
+    if (rng.bernoulli(config.branch_probability)) {
+      // Diamond: fork -> {then, else} -> join.
+      const int fork = next_id++;
+      const int then_b = next_id++;
+      const int else_b = next_id++;
+      const int join = next_id++;
+      prog.blocks.push_back(make_block(fork, config, rng, &next_cold));
+      prog.blocks.push_back(make_block(then_b, config, rng, &next_cold));
+      prog.blocks.push_back(make_block(else_b, config, rng, &next_cold));
+      prog.blocks.push_back(make_block(join, config, rng, &next_cold));
+      append(fork);
+      prog.blocks[static_cast<std::size_t>(fork)].successors = {then_b, else_b};
+      prog.blocks[static_cast<std::size_t>(then_b)].successors = {join};
+      prog.blocks[static_cast<std::size_t>(else_b)].successors = {join};
+      tail = join;
+    } else {
+      const int id = next_id++;
+      prog.blocks.push_back(make_block(id, config, rng, &next_cold));
+      append(id);
+      tail = id;
+    }
+  }
+  return prog;
+}
+
+}  // namespace ev::timing

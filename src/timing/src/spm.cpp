@@ -1,0 +1,70 @@
+#include "ev/timing/spm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ev::timing {
+
+namespace {
+
+std::uint64_t line_of(std::uint64_t address, const SpmConfig& config) {
+  return address / config.line_bytes * config.line_bytes;
+}
+
+}  // namespace
+
+std::int64_t spm_wcet_cycles(const Program& program, const SpmConfig& config,
+                             const std::set<std::uint64_t>& lines) {
+  if (program.blocks.empty()) return 0;
+  const std::vector<int> order = program.topological_order();
+  std::vector<std::int64_t> longest(program.blocks.size(), -1);
+  longest[static_cast<std::size_t>(order.front())] = 0;
+  std::int64_t wcet = 0;
+  for (int id : order) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (longest[idx] < 0) continue;
+    const BasicBlock& block = program.blocks[idx];
+    std::int64_t per_iter = 0;
+    for (std::uint64_t addr : block.accesses)
+      per_iter += lines.contains(line_of(addr, config)) ? config.spm_cycles
+                                                        : config.memory_cycles;
+    const std::int64_t through = longest[idx] + per_iter * block.iterations;
+    if (block.successors.empty()) wcet = std::max(wcet, through);
+    for (int succ : block.successors)
+      longest[static_cast<std::size_t>(succ)] =
+          std::max(longest[static_cast<std::size_t>(succ)], through);
+  }
+  return wcet;
+}
+
+SpmAllocation allocate_spm(const Program& program, const SpmConfig& config) {
+  SpmAllocation result;
+  // Worst-case access frequency per line: every block contributes its
+  // iteration-weighted accesses (conservative: all blocks, since any block
+  // may lie on the worst path and the knapsack only needs a ranking).
+  std::map<std::uint64_t, std::int64_t> frequency;
+  for (const BasicBlock& block : program.blocks)
+    for (std::uint64_t addr : block.accesses)
+      frequency[line_of(addr, config)] += block.iterations;
+
+  std::vector<std::pair<std::uint64_t, std::int64_t>> ranked(frequency.begin(),
+                                                             frequency.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie break
+  });
+  for (std::size_t i = 0; i < ranked.size() && i < config.capacity_lines; ++i)
+    result.lines.insert(ranked[i].first);
+
+  result.wcet_cycles = spm_wcet_cycles(program, config, result.lines);
+  for (const BasicBlock& block : program.blocks) {
+    for (std::uint64_t addr : block.accesses) {
+      result.total_static_accesses += block.iterations;
+      if (result.lines.contains(line_of(addr, config)))
+        result.spm_static_accesses += block.iterations;
+    }
+  }
+  return result;
+}
+
+}  // namespace ev::timing

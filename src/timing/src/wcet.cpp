@@ -1,0 +1,102 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "ev/timing/analysis.h"
+
+namespace ev::timing {
+
+namespace {
+
+std::int64_t access_cost(Classification c, const CacheConfig& config) {
+  // The bound must assume a miss unless a hit is proven.
+  return c == Classification::kAlwaysHit ? config.hit_cycles : config.miss_cycles;
+}
+
+std::int64_t block_bound(const BasicBlock& block, const BlockClassification& cls,
+                         const CacheConfig& config) {
+  std::int64_t first = 0;
+  std::int64_t steady = 0;
+  for (std::size_t a = 0; a < block.accesses.size(); ++a) {
+    first += access_cost(cls.first_iteration.at(a), config);
+    steady += access_cost(cls.steady_state.at(a), config);
+  }
+  return first + (block.iterations - 1) * steady;
+}
+
+}  // namespace
+
+std::int64_t wcet_bound_cycles(const Program& program, const CacheConfig& config,
+                               const AnalysisResult& analysis) {
+  if (analysis.blocks.size() != program.blocks.size())
+    throw std::invalid_argument("wcet_bound_cycles: analysis does not match program");
+  const std::vector<int> order = program.topological_order();
+  std::vector<std::int64_t> longest(program.blocks.size(), -1);
+  longest[static_cast<std::size_t>(order.front())] = 0;
+  std::int64_t wcet = 0;
+  for (int id : order) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (longest[idx] < 0) continue;  // unreachable
+    const std::int64_t through =
+        longest[idx] + block_bound(program.blocks[idx], analysis.blocks[idx], config);
+    if (program.blocks[idx].successors.empty()) wcet = std::max(wcet, through);
+    for (int succ : program.blocks[idx].successors)
+      longest[static_cast<std::size_t>(succ)] =
+          std::max(longest[static_cast<std::size_t>(succ)], through);
+  }
+  return wcet;
+}
+
+namespace {
+
+std::int64_t run_block(CacheSim& sim, const BasicBlock& block) {
+  const std::int64_t before = sim.cycles();
+  for (std::int64_t iter = 0; iter < block.iterations; ++iter)
+    for (std::uint64_t addr : block.accesses) (void)sim.access(addr);
+  return sim.cycles() - before;
+}
+
+std::int64_t dfs_exact(const Program& program, const CacheConfig& config,
+                       const CacheSim& incoming, int id) {
+  CacheSim sim = incoming;
+  const BasicBlock& block = program.blocks[static_cast<std::size_t>(id)];
+  const std::int64_t cost = run_block(sim, block);
+  if (block.successors.empty()) return cost;
+  std::int64_t best = 0;
+  for (int succ : block.successors)
+    best = std::max(best, dfs_exact(program, config, sim, succ));
+  return cost + best;
+}
+
+}  // namespace
+
+std::int64_t exact_wcet_cycles(const Program& program, const CacheConfig& config,
+                               double max_paths) {
+  if (program.blocks.empty()) return 0;
+  if (program.path_count() > max_paths) return -1;
+  const CacheSim cold(config);
+  return dfs_exact(program, config, cold, program.topological_order().front());
+}
+
+std::int64_t observed_wcet_cycles(const Program& program, const CacheConfig& config,
+                                  std::size_t samples, util::Rng& rng) {
+  if (program.blocks.empty()) return 0;
+  const int entry = program.topological_order().front();
+  std::int64_t worst = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    CacheSim sim(config);
+    int id = entry;
+    std::int64_t total = 0;
+    while (true) {
+      const BasicBlock& block = program.blocks[static_cast<std::size_t>(id)];
+      total += run_block(sim, block);
+      if (block.successors.empty()) break;
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(block.successors.size()) - 1));
+      id = block.successors[pick];
+    }
+    worst = std::max(worst, total);
+  }
+  return worst;
+}
+
+}  // namespace ev::timing

@@ -1,0 +1,20 @@
+/// \file crc.h
+/// Cyclic redundancy checks used by the in-vehicle network models: CRC-15
+/// (the CAN frame checksum polynomial) and CRC-32 (IEEE 802.3, used by the
+/// Ethernet frame model).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ev::util {
+
+/// CRC-15/CAN over \p data: polynomial 0x4599, init 0, no reflection.
+/// Returns the 15-bit checksum in the low bits.
+[[nodiscard]] std::uint16_t crc15_can(std::span<const std::uint8_t> data) noexcept;
+
+/// CRC-32/IEEE (Ethernet FCS): reflected polynomial 0xEDB88320, init and
+/// final xor 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace ev::util

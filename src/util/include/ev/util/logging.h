@@ -1,0 +1,26 @@
+/// \file logging.h
+/// Minimal leveled logger for examples and diagnostics. Quiet by default so
+/// test and benchmark output stays clean; examples raise the level.
+#pragma once
+
+#include <string>
+
+namespace ev::util {
+
+/// Severity levels, most severe last.
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum severity that is emitted.
+void set_log_level(LogLevel level) noexcept;
+/// Current global minimum severity.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits \p message at \p level to stdout if it passes the global filter.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace ev::util

@@ -1,0 +1,68 @@
+/// \file ring_buffer.h
+/// Fixed-capacity circular buffer. Used by ECU task queues and trace
+/// recorders where bounded memory matters (automotive software avoids
+/// unbounded dynamic allocation in steady state).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace ev::util {
+
+/// Bounded FIFO over a pre-allocated array. push() fails (returns false) when
+/// full rather than reallocating, matching the static-allocation discipline
+/// of safety-critical automotive code.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a buffer holding at most \p capacity elements (must be > 0).
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be positive");
+  }
+
+  /// Appends \p value if space remains; returns false when full.
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the oldest element, or nullopt when empty.
+  [[nodiscard]] std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  /// Oldest element without removal; throws when empty.
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::out_of_range("RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
+
+  /// Number of stored elements.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Maximum number of elements.
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  /// True when no elements are stored.
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// True when no space remains.
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+  /// Discards all elements.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ev::util

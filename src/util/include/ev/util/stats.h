@@ -1,0 +1,96 @@
+/// \file stats.h
+/// Streaming and batch statistics used by the benchmark harness and the
+/// simulation trace analyses (latency/jitter percentiles, energy accounting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ev::util {
+
+/// Welford streaming accumulator for mean/variance/min/max over a scalar
+/// series. O(1) memory; suitable for long simulations.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Peak-to-peak spread (max - min); 0 if empty.
+  [[nodiscard]] double range() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch series that retains all samples so order statistics are available.
+/// Used where percentiles matter (e.g. latency distributions).
+class SampleSeries {
+ public:
+  /// Appends one sample.
+  void add(double x);
+  /// Number of samples.
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Arithmetic mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation; 0 with fewer than two samples.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Minimum; 0 if empty.
+  [[nodiscard]] double min() const noexcept;
+  /// Maximum; 0 if empty.
+  [[nodiscard]] double max() const noexcept;
+  /// Linear-interpolated percentile, \p p in [0,100]; 0 if empty.
+  [[nodiscard]] double percentile(double p) const;
+  /// Read-only access to the raw samples in insertion order.
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> sorted_;  // lazily maintained sorted copy
+  mutable bool sorted_valid_ = false;
+  std::vector<double> samples_;
+};
+
+/// Equal-width histogram over [lo, hi); samples outside are clamped to the
+/// boundary bins. Used to render latency distributions in bench output.
+class Histogram {
+ public:
+  /// Creates a histogram with \p bins equal-width buckets covering [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+  /// Count in bucket \p i.
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Number of buckets.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// Center value of bucket \p i.
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  /// Total observations added.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ev::util

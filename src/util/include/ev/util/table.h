@@ -1,0 +1,50 @@
+/// \file table.h
+/// Console table rendering for the benchmark harness. Every experiment binary
+/// prints its paper-shaped result rows through Table so output stays uniform
+/// and machine-greppable; to_csv provides the same data for post-processing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ev::util {
+
+/// A simple column-aligned text table with a title, a header row, and data
+/// rows of formatted cells.
+class Table {
+ public:
+  /// Creates a table titled \p title with the given column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Number of columns.
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  /// Cell accessor (row-major).
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders the table with aligned columns, box rules, and the title.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders the table as CSV (header row first, RFC-4180 quoting).
+  [[nodiscard]] std::string to_csv() const;
+  /// Writes to_string() to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p precision fractional digits (fixed notation).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+/// Formats a double as engineering-style value with SI suffix (k, M, G, m, u, n).
+[[nodiscard]] std::string fmt_si(double value, int precision = 3);
+/// Formats a ratio as a percentage string with \p precision digits.
+[[nodiscard]] std::string fmt_pct(double ratio, int precision = 1);
+
+}  // namespace ev::util

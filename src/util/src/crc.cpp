@@ -1,0 +1,45 @@
+#include "ev/util/crc.h"
+
+#include <array>
+
+namespace ev::util {
+
+std::uint16_t crc15_can(std::span<const std::uint8_t> data) noexcept {
+  // Bit-serial implementation of the CAN 2.0 CRC (x^15 + x^14 + x^10 + x^8 +
+  // x^7 + x^4 + x^3 + 1). CAN computes the CRC over the bit stream; byte
+  // granularity is sufficient for the simulation model.
+  std::uint16_t crc = 0;
+  for (std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool in = ((byte >> bit) & 1u) != 0;
+      const bool crc_msb = (crc & 0x4000u) != 0;
+      crc = static_cast<std::uint16_t>((crc << 1) & 0x7fffu);
+      if (in != crc_msb) crc ^= 0x4599u;
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) crc = kCrc32Table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ev::util

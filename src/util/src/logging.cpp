@@ -1,0 +1,36 @@
+#include "ev/util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace ev::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::cout << "[" << level_name(level) << "] " << message << '\n';
+}
+
+void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
+void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
+void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+}  // namespace ev::util

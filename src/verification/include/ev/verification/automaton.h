@@ -1,0 +1,71 @@
+/// \file automaton.h
+/// Requirement monitors for distributed control verification ([28],[29]).
+/// The control-performance interface is an omega-regular language over the
+/// per-slot alphabet {drop, transmit}: a control loop stays stable as long
+/// as the transmission pattern stays inside the language (e.g. "at least m
+/// transmissions in every window of n", "never k consecutive drops").
+/// Monitors are complete safety DFAs with a trap error state; a pattern
+/// violates the requirement iff it drives the monitor into the error state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev::verification {
+
+/// Alphabet symbol: what happened in one communication slot.
+enum class Slot : std::uint8_t {
+  kDrop = 0,      ///< Control message not transmitted in this slot.
+  kTransmit = 1,  ///< Control message transmitted.
+};
+
+/// Complete deterministic safety monitor over the {drop, transmit} alphabet.
+class MonitorDfa {
+ public:
+  /// \p transitions[state][symbol] gives the successor; \p error_state must
+  /// be a trap (self-loop on both symbols).
+  MonitorDfa(std::vector<std::array<std::size_t, 2>> transitions, std::size_t initial_state,
+             std::size_t error_state, std::string description);
+
+  /// Successor of \p state on \p symbol.
+  [[nodiscard]] std::size_t next(std::size_t state, Slot symbol) const {
+    return transitions_.at(state)[static_cast<std::size_t>(symbol)];
+  }
+  /// Number of states.
+  [[nodiscard]] std::size_t state_count() const noexcept { return transitions_.size(); }
+  /// Initial state.
+  [[nodiscard]] std::size_t initial_state() const noexcept { return initial_state_; }
+  /// The trap error state.
+  [[nodiscard]] std::size_t error_state() const noexcept { return error_state_; }
+  /// True when \p state is the error state.
+  [[nodiscard]] bool is_error(std::size_t state) const noexcept {
+    return state == error_state_;
+  }
+  /// Human-readable description of the requirement.
+  [[nodiscard]] const std::string& description() const noexcept { return description_; }
+
+  /// Runs the monitor over \p pattern from the initial state; returns true
+  /// when the pattern stays safe (never reaches error).
+  [[nodiscard]] bool accepts(const std::vector<Slot>& pattern) const;
+
+  /// Requirement: at least \p m transmissions in every window of \p n
+  /// consecutive slots (sliding window; the history before the pattern is
+  /// assumed all-transmit). States encode the last n-1 symbols, so the
+  /// monitor has 2^(n-1) + 1 states — the state growth that drives the
+  /// scalability experiment E14.
+  [[nodiscard]] static MonitorDfa at_least_m_of_n(std::size_t m, std::size_t n);
+
+  /// Requirement: never more than \p k consecutive drops (k+2 states).
+  [[nodiscard]] static MonitorDfa max_consecutive_drops(std::size_t k);
+
+ private:
+  std::vector<std::array<std::size_t, 2>> transitions_;
+  std::size_t initial_state_;
+  std::size_t error_state_;
+  std::string description_;
+};
+
+}  // namespace ev::verification

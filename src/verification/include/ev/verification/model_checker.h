@@ -1,0 +1,30 @@
+/// \file model_checker.h
+/// Safety model checking: explores the synchronous product of the
+/// communication-system NFA and the requirement monitor DFA and decides
+/// whether the monitor's error state is reachable — i.e. whether *some*
+/// resolvable system behaviour violates the control-performance interface.
+/// Produces a counterexample transmission pattern when it is.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ev/verification/automaton.h"
+#include "ev/verification/system_model.h"
+
+namespace ev::verification {
+
+/// Verdict of a verification run.
+struct VerificationResult {
+  bool verified = false;              ///< True: no violating behaviour exists.
+  std::vector<Slot> counterexample;   ///< Violating pattern when !verified.
+  std::size_t product_states = 0;     ///< Reachable product states explored.
+  std::size_t transitions_explored = 0;
+};
+
+/// Checks \p system against \p requirement by product reachability (BFS, so
+/// the counterexample is minimal in length).
+[[nodiscard]] VerificationResult verify(const TransmissionSystem& system,
+                                        const MonitorDfa& requirement);
+
+}  // namespace ev::verification

@@ -1,0 +1,59 @@
+/// \file system_model.h
+/// Nondeterministic models of the communication system's possible
+/// transmission patterns. Interference (arbitration losses, retransmission
+/// windows, schedule gaps) is abstracted into nondeterministic drop choices;
+/// the model checker then asks whether *any* resolvable behaviour violates
+/// the control requirement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ev/verification/automaton.h"
+
+namespace ev::verification {
+
+/// One nondeterministic transition.
+struct NfaEdge {
+  Slot symbol = Slot::kTransmit;
+  std::size_t next = 0;
+};
+
+/// Nondeterministic finite automaton describing the per-slot behaviours the
+/// communication system can exhibit. State 0 is initial; every state must
+/// have at least one outgoing edge (communication never halts).
+class TransmissionSystem {
+ public:
+  TransmissionSystem(std::vector<std::vector<NfaEdge>> edges, std::string description);
+
+  /// Outgoing edges of \p state.
+  [[nodiscard]] const std::vector<NfaEdge>& edges(std::size_t state) const {
+    return edges_.at(state);
+  }
+  /// Number of states.
+  [[nodiscard]] std::size_t state_count() const noexcept { return edges_.size(); }
+  /// Description for reports.
+  [[nodiscard]] const std::string& description() const noexcept { return description_; }
+
+  /// A time-triggered link: transmits every slot, except that each schedule
+  /// cycle of \p cycle slots contains \p gap_slots contiguous slots where
+  /// the message is not scheduled (deterministic drops).
+  [[nodiscard]] static TransmissionSystem time_triggered(std::size_t cycle,
+                                                         std::size_t gap_slots);
+
+  /// An event-triggered (arbitrated) link: in every slot the message may
+  /// lose arbitration, but after \p max_burst consecutive losses the
+  /// priority ceiling guarantees a win. Nondeterministic within that bound.
+  [[nodiscard]] static TransmissionSystem arbitrated(std::size_t max_burst);
+
+  /// An unreliable link: every slot may nondeterministically drop with no
+  /// bound (models best-effort Ethernet without shaping).
+  [[nodiscard]] static TransmissionSystem unbounded_drops();
+
+ private:
+  std::vector<std::vector<NfaEdge>> edges_;
+  std::string description_;
+};
+
+}  // namespace ev::verification

@@ -1,0 +1,76 @@
+#include "ev/verification/automaton.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ev::verification {
+
+MonitorDfa::MonitorDfa(std::vector<std::array<std::size_t, 2>> transitions,
+                       std::size_t initial_state, std::size_t error_state,
+                       std::string description)
+    : transitions_(std::move(transitions)),
+      initial_state_(initial_state),
+      error_state_(error_state),
+      description_(std::move(description)) {
+  if (transitions_.empty()) throw std::invalid_argument("MonitorDfa: no states");
+  if (initial_state_ >= transitions_.size() || error_state_ >= transitions_.size())
+    throw std::invalid_argument("MonitorDfa: state index out of range");
+  for (const auto& row : transitions_)
+    for (std::size_t next : row)
+      if (next >= transitions_.size())
+        throw std::invalid_argument("MonitorDfa: transition target out of range");
+  if (transitions_[error_state_][0] != error_state_ ||
+      transitions_[error_state_][1] != error_state_)
+    throw std::invalid_argument("MonitorDfa: error state must be a trap");
+}
+
+bool MonitorDfa::accepts(const std::vector<Slot>& pattern) const {
+  std::size_t state = initial_state_;
+  for (Slot s : pattern) {
+    state = next(state, s);
+    if (is_error(state)) return false;
+  }
+  return true;
+}
+
+MonitorDfa MonitorDfa::at_least_m_of_n(std::size_t m, std::size_t n) {
+  if (n == 0 || n > 20) throw std::invalid_argument("at_least_m_of_n: n must be in 1..20");
+  if (m > n) throw std::invalid_argument("at_least_m_of_n: m must be <= n");
+  const std::size_t hist_bits = n - 1;
+  const std::size_t hist_states = std::size_t{1} << hist_bits;
+  const std::size_t error = hist_states;
+  std::vector<std::array<std::size_t, 2>> tr(hist_states + 1);
+  for (std::size_t h = 0; h < hist_states; ++h) {
+    for (std::size_t sym = 0; sym < 2; ++sym) {
+      // The completed window is the history plus the incoming symbol.
+      const std::size_t ones =
+          static_cast<std::size_t>(std::popcount(h)) + sym;
+      if (ones < m) {
+        tr[h][sym] = error;
+      } else {
+        const std::size_t mask = hist_states - 1;
+        tr[h][sym] = hist_bits == 0 ? 0 : ((h << 1) | sym) & mask;
+      }
+    }
+  }
+  tr[error] = {error, error};
+  const std::size_t initial = hist_states - 1;  // all-transmit history
+  return MonitorDfa(std::move(tr), initial, error,
+                    "at least " + std::to_string(m) + " transmissions per window of " +
+                        std::to_string(n));
+}
+
+MonitorDfa MonitorDfa::max_consecutive_drops(std::size_t k) {
+  // States 0..k count current consecutive drops; k+1 is the error trap.
+  const std::size_t error = k + 1;
+  std::vector<std::array<std::size_t, 2>> tr(k + 2);
+  for (std::size_t c = 0; c <= k; ++c) {
+    tr[c][static_cast<std::size_t>(Slot::kTransmit)] = 0;
+    tr[c][static_cast<std::size_t>(Slot::kDrop)] = c + 1 > k ? error : c + 1;
+  }
+  tr[error] = {error, error};
+  return MonitorDfa(std::move(tr), 0, error,
+                    "never more than " + std::to_string(k) + " consecutive drops");
+}
+
+}  // namespace ev::verification

@@ -1,0 +1,65 @@
+#include "ev/verification/model_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace ev::verification {
+
+VerificationResult verify(const TransmissionSystem& system, const MonitorDfa& requirement) {
+  VerificationResult result;
+  const std::size_t sys_n = system.state_count();
+  const std::size_t mon_n = requirement.state_count();
+  const auto index = [mon_n](std::size_t s, std::size_t m) { return s * mon_n + m; };
+
+  // Parent pointers for counterexample reconstruction: (prev index, symbol).
+  struct Parent {
+    std::size_t prev = SIZE_MAX;
+    Slot symbol = Slot::kTransmit;
+  };
+  std::vector<bool> visited(sys_n * mon_n, false);
+  std::vector<Parent> parent(sys_n * mon_n);
+
+  const std::size_t start = index(0, requirement.initial_state());
+  std::deque<std::size_t> queue{start};
+  visited[start] = true;
+
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    const std::size_t sys_state = cur / mon_n;
+    const std::size_t mon_state = cur % mon_n;
+
+    for (const NfaEdge& edge : system.edges(sys_state)) {
+      ++result.transitions_explored;
+      const std::size_t mon_next = requirement.next(mon_state, edge.symbol);
+      const std::size_t nxt = index(edge.next, mon_next);
+      if (requirement.is_error(mon_next)) {
+        // Violation found: reconstruct the minimal pattern.
+        std::vector<Slot> pattern{edge.symbol};
+        std::size_t walk = cur;
+        while (walk != start) {
+          pattern.push_back(parent[walk].symbol);
+          walk = parent[walk].prev;
+        }
+        std::reverse(pattern.begin(), pattern.end());
+        result.counterexample = std::move(pattern);
+        result.product_states =
+            static_cast<std::size_t>(std::count(visited.begin(), visited.end(), true));
+        return result;
+      }
+      if (!visited[nxt]) {
+        visited[nxt] = true;
+        parent[nxt] = Parent{cur, edge.symbol};
+        queue.push_back(nxt);
+      }
+    }
+  }
+
+  result.verified = true;
+  result.product_states =
+      static_cast<std::size_t>(std::count(visited.begin(), visited.end(), true));
+  return result;
+}
+
+}  // namespace ev::verification

@@ -1,0 +1,55 @@
+#include "ev/verification/system_model.h"
+
+#include <stdexcept>
+
+namespace ev::verification {
+
+TransmissionSystem::TransmissionSystem(std::vector<std::vector<NfaEdge>> edges,
+                                       std::string description)
+    : edges_(std::move(edges)), description_(std::move(description)) {
+  if (edges_.empty()) throw std::invalid_argument("TransmissionSystem: no states");
+  for (const auto& outgoing : edges_) {
+    if (outgoing.empty())
+      throw std::invalid_argument("TransmissionSystem: state without outgoing edge");
+    for (const NfaEdge& e : outgoing)
+      if (e.next >= edges_.size())
+        throw std::invalid_argument("TransmissionSystem: edge target out of range");
+  }
+}
+
+TransmissionSystem TransmissionSystem::time_triggered(std::size_t cycle,
+                                                      std::size_t gap_slots) {
+  if (cycle == 0 || gap_slots >= cycle)
+    throw std::invalid_argument("time_triggered: need gap_slots < cycle, cycle > 0");
+  // State k = position in the schedule cycle; the gap occupies the last
+  // gap_slots positions.
+  std::vector<std::vector<NfaEdge>> edges(cycle);
+  for (std::size_t k = 0; k < cycle; ++k) {
+    const bool scheduled = k < cycle - gap_slots;
+    edges[k].push_back(NfaEdge{scheduled ? Slot::kTransmit : Slot::kDrop, (k + 1) % cycle});
+  }
+  return TransmissionSystem(std::move(edges),
+                            "time-triggered, " + std::to_string(gap_slots) +
+                                " gap slots per cycle of " + std::to_string(cycle));
+}
+
+TransmissionSystem TransmissionSystem::arbitrated(std::size_t max_burst) {
+  // State k = consecutive arbitration losses so far. Below the bound the
+  // slot may go either way; at the bound the win is forced.
+  std::vector<std::vector<NfaEdge>> edges(max_burst + 1);
+  for (std::size_t k = 0; k <= max_burst; ++k) {
+    edges[k].push_back(NfaEdge{Slot::kTransmit, 0});
+    if (k < max_burst) edges[k].push_back(NfaEdge{Slot::kDrop, k + 1});
+  }
+  return TransmissionSystem(std::move(edges), "arbitrated, max loss burst " +
+                                                  std::to_string(max_burst));
+}
+
+TransmissionSystem TransmissionSystem::unbounded_drops() {
+  std::vector<std::vector<NfaEdge>> edges(1);
+  edges[0].push_back(NfaEdge{Slot::kTransmit, 0});
+  edges[0].push_back(NfaEdge{Slot::kDrop, 0});
+  return TransmissionSystem(std::move(edges), "best-effort, unbounded drops");
+}
+
+}  // namespace ev::verification

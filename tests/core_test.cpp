@@ -1,0 +1,184 @@
+// Unit tests for the core architecture model: the reference function
+// network, federated/integrated synthesis, evaluation metrics, and the
+// whole-vehicle co-simulation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ev/core/architecture.h"
+#include "ev/core/cosim.h"
+#include "ev/core/evaluation.h"
+#include "ev/core/synthesis.h"
+
+namespace {
+
+using namespace ev::core;
+
+// --------------------------------------------------------- architecture ----
+
+TEST(ReferenceNetwork, WellFormed) {
+  const FunctionNetwork net = reference_function_network();
+  EXPECT_GE(net.functions.size(), 25u);
+  EXPECT_GE(net.signals.size(), 20u);
+  for (const SignalSpec& s : net.signals) {
+    EXPECT_LT(s.from, net.functions.size());
+    EXPECT_LT(s.to, net.functions.size());
+    EXPECT_NE(s.from, s.to);
+  }
+  for (const FunctionSpec& f : net.functions) {
+    EXPECT_GT(f.period_us, 0);
+    EXPECT_GT(f.wcet_us, 0);
+    EXPECT_LT(f.wcet_us, f.period_us);
+  }
+}
+
+TEST(ReferenceNetwork, ScaleGrowsSystem) {
+  const auto base = reference_function_network(1);
+  const auto big = reference_function_network(5);
+  EXPECT_GT(big.functions.size(), base.functions.size());
+  EXPECT_GT(big.signals.size(), base.signals.size());
+}
+
+TEST(ReferenceNetwork, CoversAllDomains) {
+  const auto net = reference_function_network();
+  std::set<Domain> domains;
+  for (const auto& f : net.functions) domains.insert(f.domain);
+  EXPECT_EQ(domains.size(), 5u);
+}
+
+TEST(BusTech, PropertiesOrdered) {
+  EXPECT_LT(bit_rate_of(BusTech::kLin), bit_rate_of(BusTech::kCan));
+  EXPECT_LT(bit_rate_of(BusTech::kCan), bit_rate_of(BusTech::kFlexRay));
+  EXPECT_LT(bit_rate_of(BusTech::kFlexRay), bit_rate_of(BusTech::kEthernet));
+  EXPECT_EQ(to_string(BusTech::kFlexRay), "FlexRay");
+  EXPECT_EQ(to_string(Domain::kChassis), "chassis");
+}
+
+// ------------------------------------------------------------ synthesis ----
+
+TEST(Federated, OneEcuPerFunction) {
+  const auto net = reference_function_network();
+  const Architecture arch = synthesize_federated(net);
+  EXPECT_EQ(arch.ecus.size(), net.functions.size());
+  EXPECT_EQ(arch.style, "federated");
+  EXPECT_EQ(arch.gateway_count, 1u);
+  // One bus per populated domain.
+  EXPECT_EQ(arch.buses.size(), 5u);
+  // Every function mapped exactly once.
+  for (std::size_t f = 0; f < net.functions.size(); ++f)
+    EXPECT_NO_THROW((void)arch.ecu_of(f));
+}
+
+TEST(Federated, EcusAttachedToDomainBuses) {
+  const Architecture arch = synthesize_federated(reference_function_network());
+  std::size_t attached = 0;
+  for (const BusInstance& bus : arch.buses) attached += bus.attached_ecus.size();
+  EXPECT_EQ(attached, arch.ecus.size());
+}
+
+TEST(Integrated, ConsolidatesDramatically) {
+  const auto net = reference_function_network();
+  const Architecture fed = synthesize_federated(net);
+  const Architecture integ = synthesize_integrated(net);
+  EXPECT_LT(integ.ecus.size(), fed.ecus.size() / 3);
+  EXPECT_EQ(integ.buses.size(), 1u);
+  EXPECT_EQ(integ.gateway_count, 0u);
+  // Mapping is total and disjoint.
+  std::set<std::size_t> mapped;
+  for (const EcuInstance& e : integ.ecus)
+    for (std::size_t f : e.hosted_functions) EXPECT_TRUE(mapped.insert(f).second);
+  EXPECT_EQ(mapped.size(), net.functions.size());
+}
+
+TEST(Integrated, SegregationWithoutPartitionsNeedsMoreEcus) {
+  const auto net = reference_function_network();
+  IntegratedOptions with;
+  with.partitioned_middleware = true;
+  IntegratedOptions without;
+  without.partitioned_middleware = false;
+  EXPECT_GE(synthesize_integrated(net, without).ecus.size(),
+            synthesize_integrated(net, with).ecus.size());
+}
+
+TEST(Integrated, RespectUtilizationBound) {
+  const auto net = reference_function_network(4);
+  IntegratedOptions opt;
+  const Architecture arch = synthesize_integrated(net, opt);
+  const ArchitectureMetrics m = evaluate(arch);
+  EXPECT_LE(m.max_utilization, opt.utilization_bound + 1e-9);
+}
+
+// ------------------------------------------------------------ evaluation ----
+
+TEST(Evaluation, IntegratedBeatsFederatedOnCostAndWiring) {
+  const auto net = reference_function_network();
+  const ArchitectureMetrics fed = evaluate(synthesize_federated(net));
+  const ArchitectureMetrics integ = evaluate(synthesize_integrated(net));
+  EXPECT_LT(integ.ecu_count, fed.ecu_count);
+  EXPECT_LT(integ.wiring_m, fed.wiring_m);
+  EXPECT_LT(integ.hardware_cost, fed.hardware_cost);
+  // Consolidation converts network signals into ECU-local ones.
+  EXPECT_GT(integ.local_signals, fed.local_signals);
+  EXPECT_LT(integ.cross_ecu_signals, fed.cross_ecu_signals);
+}
+
+TEST(Evaluation, FederatedHasLowUtilization) {
+  const auto net = reference_function_network();
+  const ArchitectureMetrics fed = evaluate(synthesize_federated(net));
+  // One function per ECU: hardware mostly idle (the paper's inefficiency).
+  EXPECT_LT(fed.mean_utilization, 0.2);
+  const ArchitectureMetrics integ = evaluate(synthesize_integrated(net));
+  EXPECT_GT(integ.mean_utilization, fed.mean_utilization);
+}
+
+TEST(Evaluation, BusLoadsFeasible) {
+  const auto net = reference_function_network();
+  EXPECT_TRUE(evaluate(synthesize_federated(net)).buses_feasible);
+  EXPECT_TRUE(evaluate(synthesize_integrated(net)).buses_feasible);
+}
+
+TEST(Evaluation, LocalSignalDetection) {
+  FunctionNetwork net;
+  net.functions.push_back({"a", Domain::kComfort, Criticality::kQm, 10000, 100});
+  net.functions.push_back({"b", Domain::kComfort, Criticality::kQm, 10000, 100});
+  net.signals.push_back({"a->b", 0, 1, 8, 10000});
+  const Architecture integ = synthesize_integrated(net);
+  ASSERT_EQ(integ.ecus.size(), 1u);
+  EXPECT_TRUE(integ.signal_is_local(net.signals[0]));
+  const ArchitectureMetrics m = evaluate(integ);
+  EXPECT_EQ(m.local_signals, 1u);
+  EXPECT_EQ(m.cross_ecu_signals, 0u);
+}
+
+// ----------------------------------------------------------------- cosim ----
+
+TEST(CoSim, ShortUrbanDriveBindsAllLayers) {
+  VehicleSystemConfig cfg;
+  VehicleSystem vs(cfg);
+  // A trimmed cycle keeps the test fast.
+  ev::powertrain::CycleBuilder b("short");
+  b.ramp_to(40.0, 15.0).cruise(30.0).stop(10.0, 5.0);
+  const auto cycle = std::move(b).build();
+  const CoSimResult r = vs.run(cycle);
+
+  EXPECT_GT(r.cycle.distance_km, 0.2);
+  EXPECT_GT(r.bms_frames_published, 100u);
+  // Real pack data reached the infotainment domain through the gateway.
+  EXPECT_GT(r.bms_frames_at_hmi, 100u);
+  EXPECT_GT(r.bms_to_hmi_latency_ms, 0.0);
+  EXPECT_LT(r.bms_to_hmi_latency_ms, 50.0);
+  // The range SOA service was exercised and answers plausibly.
+  EXPECT_GT(r.range_service_calls, 0u);
+  EXPECT_GT(r.last_range_km, 10.0);
+}
+
+TEST(CoSim, NetworkCarriesBackgroundTraffic) {
+  VehicleSystemConfig cfg;
+  VehicleSystem vs(cfg);
+  ev::powertrain::CycleBuilder b("mini");
+  b.ramp_to(30.0, 10.0).stop(8.0, 2.0);
+  (void)vs.run(std::move(b).build());
+  for (auto* bus : vs.network().buses()) EXPECT_GT(bus->delivered_count(), 0u);
+}
+
+}  // namespace

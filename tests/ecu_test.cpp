@@ -1,0 +1,198 @@
+// Unit tests for the computation platforms: multi-core placement, FPGA
+// partial-reconfiguration recovery, and the data-parallel vision pipeline.
+#include <gtest/gtest.h>
+
+#include "ev/ecu/fpga.h"
+#include "ev/ecu/multicore.h"
+#include "ev/ecu/vision.h"
+#include "ev/util/rng.h"
+
+namespace {
+
+using namespace ev::ecu;
+
+// ------------------------------------------------------------ multicore ----
+
+std::vector<HostedFunction> uniform_functions(std::size_t n, std::int64_t wcet_us = 2000,
+                                              std::int64_t period_us = 10000) {
+  std::vector<HostedFunction> fns;
+  for (std::size_t i = 0; i < n; ++i)
+    fns.push_back(HostedFunction{"f" + std::to_string(i), period_us, wcet_us});
+  return fns;
+}
+
+TEST(Multicore, PlacesWithinSingleCore) {
+  MulticoreConfig cfg;
+  cfg.core_count = 1;
+  cfg.interference_factor = 0.0;
+  MulticoreEcu ecu(cfg);
+  // 4 x 0.2 utilization = 0.8 == bound: fits exactly.
+  const PlacementResult r = ecu.place(uniform_functions(4));
+  EXPECT_TRUE(r.all_placed);
+  EXPECT_EQ(r.placed_count, 4u);
+  // A fifth does not fit.
+  EXPECT_FALSE(ecu.place(uniform_functions(5)).all_placed);
+}
+
+TEST(Multicore, MoreCoresHostMoreFunctions) {
+  MulticoreConfig one;
+  one.core_count = 1;
+  MulticoreConfig four;
+  four.core_count = 4;
+  const auto fns = uniform_functions(64);
+  EXPECT_GT(MulticoreEcu(four).capacity(fns), MulticoreEcu(one).capacity(fns));
+}
+
+TEST(Multicore, InterferenceReducesCapacity) {
+  MulticoreConfig clean;
+  clean.core_count = 8;
+  clean.interference_factor = 0.0;
+  MulticoreConfig noisy = clean;
+  noisy.interference_factor = 0.25;
+  const auto fns = uniform_functions(64);
+  EXPECT_GT(MulticoreEcu(clean).capacity(fns), MulticoreEcu(noisy).capacity(fns));
+}
+
+TEST(Multicore, UtilizationNeverExceedsBound) {
+  MulticoreConfig cfg;
+  cfg.core_count = 4;
+  MulticoreEcu ecu(cfg);
+  const PlacementResult r = ecu.place(uniform_functions(20, 1500, 10000));
+  for (double u : r.core_utilization) EXPECT_LE(u, cfg.utilization_bound + 1e-9);
+}
+
+TEST(Multicore, RejectedFunctionsMarked) {
+  MulticoreConfig cfg;
+  cfg.core_count = 1;
+  MulticoreEcu ecu(cfg);
+  const PlacementResult r = ecu.place(uniform_functions(10));
+  int rejected = 0;
+  for (int c : r.core_of)
+    if (c < 0) ++rejected;
+  EXPECT_EQ(static_cast<std::size_t>(rejected), 10u - r.placed_count);
+}
+
+// ----------------------------------------------------------------- FPGA ----
+
+TEST(Fpga, RecoveryTimeOrdering) {
+  const FpgaConfig cfg;
+  const double partial = recovery_time_s(cfg, RecoveryStrategy::kPartialReconfiguration);
+  const double full = recovery_time_s(cfg, RecoveryStrategy::kFullReconfiguration);
+  const double failover = recovery_time_s(cfg, RecoveryStrategy::kEcuFailover);
+  const double dual = recovery_time_s(cfg, RecoveryStrategy::kDualHardware);
+  // Partial reconfiguration beats full device programming, which beats an
+  // ECU reboot; hot standby is fastest but costs double hardware.
+  EXPECT_LT(partial, full);
+  EXPECT_LT(full, failover);
+  EXPECT_LT(dual, partial);
+  EXPECT_LT(partial, 0.01);  // sub-10 ms per-region reconfiguration
+}
+
+TEST(Fpga, MissionAvailabilityRanking) {
+  const FpgaConfig cfg;
+  ev::util::Rng rng(71);
+  const double mission = 8 * 3600.0;
+  const auto partial =
+      simulate_mission(cfg, RecoveryStrategy::kPartialReconfiguration, mission, rng);
+  ev::util::Rng rng2(71);
+  const auto failover = simulate_mission(cfg, RecoveryStrategy::kEcuFailover, mission, rng2);
+  EXPECT_EQ(partial.faults, failover.faults);  // same fault trace (same seed)
+  EXPECT_GT(partial.availability, failover.availability);
+  EXPECT_LT(partial.downtime_s, failover.downtime_s);
+}
+
+TEST(Fpga, IsolationOnlyForPartialAndDual) {
+  const FpgaConfig cfg;
+  ev::util::Rng rng(73);
+  const double mission = 24 * 3600.0;
+  const auto partial =
+      simulate_mission(cfg, RecoveryStrategy::kPartialReconfiguration, mission, rng);
+  EXPECT_DOUBLE_EQ(partial.system_downtime_s, 0.0);
+  ev::util::Rng rng2(73);
+  const auto full =
+      simulate_mission(cfg, RecoveryStrategy::kFullReconfiguration, mission, rng2);
+  if (full.faults > 0) EXPECT_GT(full.system_downtime_s, 0.0);
+}
+
+TEST(Fpga, HardwareOverheadReported) {
+  const FpgaConfig cfg;
+  ev::util::Rng rng(75);
+  EXPECT_DOUBLE_EQ(
+      simulate_mission(cfg, RecoveryStrategy::kDualHardware, 3600.0, rng).hardware_overhead,
+      1.0);
+  EXPECT_LT(simulate_mission(cfg, RecoveryStrategy::kPartialReconfiguration, 3600.0, rng)
+                .hardware_overhead,
+            0.5);
+}
+
+TEST(Fpga, NoFaultsMeansFullAvailability) {
+  FpgaConfig cfg;
+  cfg.fault_rate_per_hour = 0.0;
+  ev::util::Rng rng(77);
+  const auto r =
+      simulate_mission(cfg, RecoveryStrategy::kPartialReconfiguration, 3600.0, rng);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+}
+
+TEST(Fpga, StrategyNames) {
+  EXPECT_EQ(to_string(RecoveryStrategy::kPartialReconfiguration), "partial-reconfig");
+  EXPECT_EQ(to_string(RecoveryStrategy::kDualHardware), "dual-hardware");
+}
+
+// ---------------------------------------------------------------- vision ----
+
+TEST(Vision, SceneHasPedestrianContrast) {
+  ev::util::Rng rng(81);
+  const Image img = generate_scene(128, 96, 3, rng);
+  EXPECT_EQ(img.pixels.size(), 128u * 96u);
+  int bright = 0;
+  for (std::uint8_t p : img.pixels)
+    if (p > 180) ++bright;
+  EXPECT_GT(bright, 50);  // figures are visibly brighter than background
+}
+
+TEST(Vision, DetectorFindsPedestrians) {
+  ev::util::Rng rng(83);
+  const Image img = generate_scene(256, 192, 4, rng);
+  const auto detections = detect_pedestrians_scalar(img, DetectorConfig{});
+  EXPECT_GT(detections.size(), 0u);
+}
+
+TEST(Vision, EmptySceneFewerDetections) {
+  ev::util::Rng rng_a(85);
+  ev::util::Rng rng_b(85);
+  const Image with = generate_scene(256, 192, 5, rng_a);
+  const Image without = generate_scene(256, 192, 0, rng_b);
+  const DetectorConfig cfg;
+  EXPECT_GT(detect_pedestrians_scalar(with, cfg).size(),
+            detect_pedestrians_scalar(without, cfg).size());
+}
+
+// Property: parallel result identical to scalar for any worker count.
+class VisionParallel : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VisionParallel, MatchesScalarExactly) {
+  ev::util::Rng rng(87);
+  const Image img = generate_scene(320, 240, 4, rng);
+  const DetectorConfig cfg;
+  const auto scalar = detect_pedestrians_scalar(img, cfg);
+  auto parallel = detect_pedestrians_parallel(img, cfg, GetParam());
+  // Chunked order may differ between workers; sort both for comparison.
+  auto key = [](const Detection& d) { return std::make_pair(d.y, d.x); };
+  std::sort(parallel.begin(), parallel.end(),
+            [&](const Detection& a, const Detection& b) { return key(a) < key(b); });
+  auto sorted_scalar = scalar;
+  std::sort(sorted_scalar.begin(), sorted_scalar.end(),
+            [&](const Detection& a, const Detection& b) { return key(a) < key(b); });
+  ASSERT_EQ(parallel.size(), sorted_scalar.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].x, sorted_scalar[i].x);
+    EXPECT_EQ(parallel[i].y, sorted_scalar[i].y);
+    EXPECT_DOUBLE_EQ(parallel[i].score, sorted_scalar[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, VisionParallel, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace

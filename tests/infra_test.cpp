@@ -1,0 +1,92 @@
+// Unit tests for the charging-infrastructure / fleet information system.
+#include <gtest/gtest.h>
+
+#include "ev/infra/charging_network.h"
+
+namespace {
+
+using namespace ev::infra;
+
+FleetConfig small_city() {
+  FleetConfig cfg;
+  cfg.station_count = 3;
+  cfg.vehicle_count = 20;
+  cfg.sim_hours = 4.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance_km({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_km({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(ChargingNetwork, DeterministicConstruction) {
+  const FleetConfig cfg = small_city();
+  ChargingNetwork a(cfg);
+  ChargingNetwork b(cfg);
+  ASSERT_EQ(a.stations().size(), 3u);
+  ASSERT_EQ(a.fleet().size(), 20u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(a.stations()[s].position.x_km, b.stations()[s].position.x_km);
+    EXPECT_DOUBLE_EQ(a.stations()[s].position.y_km, b.stations()[s].position.y_km);
+  }
+}
+
+TEST(ChargingNetwork, FleetKeepsDriving) {
+  ChargingNetwork net(small_city());
+  const FleetReport r = net.run(AssignmentPolicy::kNearestStation);
+  EXPECT_GT(r.trips_completed, 10u);
+  EXPECT_GT(r.station_utilization, 0.0);
+}
+
+TEST(ChargingNetwork, RunIsRepeatable) {
+  ChargingNetwork net(small_city());
+  const FleetReport a = net.run(AssignmentPolicy::kCoordinated);
+  const FleetReport b = net.run(AssignmentPolicy::kCoordinated);
+  EXPECT_EQ(a.trips_completed, b.trips_completed);
+  EXPECT_DOUBLE_EQ(a.mean_wait_min, b.mean_wait_min);
+}
+
+TEST(ChargingNetwork, CoordinationReducesWaiting) {
+  // Undersupplied city: coordination must pay off in queue time.
+  FleetConfig cfg;
+  cfg.station_count = 3;
+  cfg.vehicle_count = 80;
+  cfg.sim_hours = 8.0;
+  cfg.seed = 11;
+  ChargingNetwork net(cfg);
+  const FleetReport nearest = net.run(AssignmentPolicy::kNearestStation);
+  const FleetReport coordinated = net.run(AssignmentPolicy::kCoordinated);
+  EXPECT_LT(coordinated.mean_wait_min, nearest.mean_wait_min);
+}
+
+TEST(ChargingNetwork, V2gServesEnergyWithoutStranding) {
+  ChargingNetwork net(small_city());
+  const FleetReport without = net.run(AssignmentPolicy::kCoordinated, 0.0);
+  const FleetReport with = net.run(AssignmentPolicy::kCoordinated, 40.0);
+  EXPECT_DOUBLE_EQ(without.v2g_energy_kwh, 0.0);
+  EXPECT_GT(with.v2g_energy_kwh, 1.0);
+  // The reserve floor keeps V2G from stranding more vehicles.
+  EXPECT_LE(with.stranded, without.stranded + 1);
+}
+
+TEST(ChargingNetwork, PolicyNames) {
+  EXPECT_EQ(to_string(AssignmentPolicy::kNearestStation), "nearest-station");
+  EXPECT_EQ(to_string(AssignmentPolicy::kCoordinated), "coordinated");
+}
+
+TEST(ChargingNetwork, MoreStationsLessWaiting) {
+  FleetConfig scarce;
+  scarce.station_count = 2;
+  scarce.vehicle_count = 60;
+  scarce.sim_hours = 6.0;
+  scarce.seed = 13;
+  FleetConfig ample = scarce;
+  ample.station_count = 10;
+  const FleetReport r_scarce = ChargingNetwork(scarce).run(AssignmentPolicy::kNearestStation);
+  const FleetReport r_ample = ChargingNetwork(ample).run(AssignmentPolicy::kNearestStation);
+  EXPECT_LE(r_ample.mean_wait_min, r_scarce.mean_wait_min);
+}
+
+}  // namespace

@@ -1,0 +1,634 @@
+// Unit tests for the in-vehicle network models: CAN (+ response-time
+// analysis), LIN, FlexRay, MOST, switched Ethernet (strict priority, CBS,
+// time-aware gates), PTP synchronization, the gateway, and the Fig. 1
+// topology builder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ev/network/can.h"
+#include "ev/network/ethernet.h"
+#include "ev/network/flexray.h"
+#include "ev/network/gateway.h"
+#include "ev/network/lin.h"
+#include "ev/network/most.h"
+#include "ev/network/ptp.h"
+#include "ev/network/topology.h"
+#include "ev/sim/simulator.h"
+
+namespace {
+
+using namespace ev::network;
+using ev::sim::Simulator;
+using ev::sim::Time;
+
+// ------------------------------------------------------------------ CAN ----
+
+TEST(Can, FrameBitsFormula) {
+  // 47 + 8n + stuffing((34 + 8n - 1) / 4).
+  EXPECT_EQ(CanBus::frame_bits(0), 47u + 8u);
+  EXPECT_EQ(CanBus::frame_bits(8), 47u + 64u + 24u);
+}
+
+TEST(Can, DeliversSingleFrame) {
+  Simulator sim;
+  CanBus bus(sim, "can", 500e3);
+  int delivered = 0;
+  bus.subscribe([&](const Frame&, Time) { ++delivered; });
+  Frame f;
+  f.id = 0x100;
+  f.payload_size = 8;
+  EXPECT_TRUE(bus.send(f));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  // 135 bits at 500 kbit/s = 270 us.
+  EXPECT_NEAR(bus.latency().mean(), 270e-6, 1e-6);
+}
+
+TEST(Can, RejectsOversizedPayload) {
+  Simulator sim;
+  CanBus bus(sim, "can");
+  Frame f;
+  f.payload_size = 9;
+  EXPECT_FALSE(bus.send(f));
+}
+
+TEST(Can, ArbitrationLowestIdWins) {
+  Simulator sim;
+  CanBus bus(sim, "can", 500e3);
+  std::vector<std::uint32_t> order;
+  bus.subscribe([&](const Frame& f, Time) { order.push_back(f.id); });
+  // Seed one frame to occupy the bus, then queue contenders.
+  Frame f;
+  f.payload_size = 8;
+  f.id = 0x50;
+  ASSERT_TRUE(bus.send(f));
+  f.id = 0x300;
+  ASSERT_TRUE(bus.send(f));
+  f.id = 0x100;
+  ASSERT_TRUE(bus.send(f));
+  f.id = 0x200;
+  ASSERT_TRUE(bus.send(f));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0x50, 0x100, 0x200, 0x300}));
+}
+
+TEST(Can, NonPreemptive) {
+  Simulator sim;
+  CanBus bus(sim, "can", 500e3);
+  std::vector<std::uint32_t> order;
+  bus.subscribe([&](const Frame& f, Time) { order.push_back(f.id); });
+  Frame low;
+  low.id = 0x700;
+  low.payload_size = 8;
+  ASSERT_TRUE(bus.send(low));
+  // A higher-priority frame arriving mid-transmission must wait.
+  sim.schedule_at(Time::us(50), [&] {
+    Frame high;
+    high.id = 0x001;
+    high.payload_size = 8;
+    ASSERT_TRUE(bus.send(high));
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0x700, 0x001}));
+}
+
+TEST(Can, UtilizationAccumulates) {
+  Simulator sim;
+  CanBus bus(sim, "can", 500e3);
+  bus.subscribe([](const Frame&, Time) {});
+  sim.schedule_periodic(Time{}, Time::ms(1), [&] {
+    Frame f;
+    f.id = 1;
+    f.payload_size = 8;
+    (void)bus.send(f);
+  });
+  sim.run_until(Time::s(1));
+  // 135 bits / 1 ms at 500 kbit/s = 27% utilization.
+  EXPECT_NEAR(bus.utilization(), 0.27, 0.01);
+}
+
+TEST(CanAnalysis, HighestPriorityBoundTight) {
+  std::vector<CanMessageSpec> set{{1, 8, 0.01, 0.0}, {2, 8, 0.01, 0.0}, {3, 8, 0.01, 0.0}};
+  const auto results = can_response_times(set, 500e3);
+  ASSERT_EQ(results.size(), 3u);
+  // Highest priority: blocking (one 135-bit frame) + own transmission.
+  EXPECT_NEAR(results[0].worst_case_s, 2 * 135.0 / 500e3, 1e-6);
+  EXPECT_TRUE(results[0].schedulable);
+  // Monotone: lower priority has larger bound.
+  EXPECT_GE(results[1].worst_case_s, results[0].worst_case_s);
+  EXPECT_GE(results[2].worst_case_s, results[1].worst_case_s);
+}
+
+TEST(CanAnalysis, OverloadDetected) {
+  // 30 messages at 1 ms on 500 kbit/s: > 100% utilization.
+  std::vector<CanMessageSpec> set;
+  for (std::uint32_t i = 0; i < 30; ++i) set.push_back({i, 8, 0.001, 0.0});
+  const auto results = can_response_times(set, 500e3);
+  EXPECT_FALSE(results.back().schedulable);
+}
+
+TEST(CanAnalysis, BoundDominatesSimulation) {
+  // The analytical worst case must upper-bound every observed latency.
+  std::vector<CanMessageSpec> set{{1, 8, 0.005, 0.0}, {2, 8, 0.007, 0.0},
+                                  {3, 8, 0.009, 0.0}, {4, 8, 0.011, 0.0}};
+  const auto bounds = can_response_times(set, 500e3);
+  std::map<std::uint32_t, double> bound_of;
+  for (const auto& b : bounds) bound_of[b.id] = b.worst_case_s;
+
+  Simulator sim;
+  CanBus bus(sim, "can", 500e3);
+  std::map<std::uint32_t, double> observed_max;
+  bus.subscribe([&](const Frame& f, Time at) {
+    observed_max[f.id] =
+        std::max(observed_max[f.id], (at - f.created).to_seconds());
+  });
+  for (const auto& m : set) {
+    sim.schedule_periodic(Time{}, Time::seconds(m.period_s), [&bus, m] {
+      Frame f;
+      f.id = m.id;
+      f.payload_size = m.payload_bytes;
+      (void)bus.send(f);
+    });
+  }
+  sim.run_until(Time::s(5));
+  for (const auto& [id, obs] : observed_max) EXPECT_LE(obs, bound_of[id] + 1e-9);
+}
+
+// ------------------------------------------------------------------ LIN ----
+
+TEST(Lin, ScheduleDeliversInSlots) {
+  Simulator sim;
+  LinBus bus(sim, "lin", {{0x10, 1, 2}, {0x11, 2, 2}}, 0.01);
+  std::vector<std::uint32_t> order;
+  bus.subscribe([&](const Frame& f, Time) { order.push_back(f.id); });
+  Frame f;
+  f.id = 0x11;
+  ASSERT_TRUE(bus.send(f));
+  f.id = 0x10;
+  ASSERT_TRUE(bus.send(f));
+  bus.start();
+  sim.run_until(Time::ms(25));
+  // Slot order follows the schedule table, not send order.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0x10u);
+  EXPECT_EQ(order[1], 0x11u);
+}
+
+TEST(Lin, UnknownIdRejected) {
+  Simulator sim;
+  LinBus bus(sim, "lin", {{0x10, 1, 2}});
+  Frame f;
+  f.id = 0x42;
+  EXPECT_FALSE(bus.send(f));
+}
+
+TEST(Lin, LatencyBoundedByCycle) {
+  Simulator sim;
+  LinBus bus(sim, "lin", {{0x10, 1, 2}, {0x11, 2, 2}, {0x12, 3, 2}, {0x13, 4, 2}}, 0.01);
+  bus.subscribe([](const Frame&, Time) {});
+  bus.start();
+  sim.schedule_periodic(Time::ms(1), Time::ms(40), [&] {
+    Frame f;
+    f.id = 0x12;
+    (void)bus.send(f);
+  });
+  sim.run_until(Time::s(2));
+  EXPECT_GT(bus.delivered_count(), 10u);
+  EXPECT_LE(bus.latency().max(), bus.cycle_time_s() + 0.001);
+}
+
+TEST(Lin, StateSemanticsKeepLatest) {
+  Simulator sim;
+  LinBus bus(sim, "lin", {{0x10, 1, 2}}, 0.01);
+  std::vector<std::uint64_t> seqs;
+  bus.subscribe([&](const Frame& f, Time) { seqs.push_back(f.sequence); });
+  Frame f;
+  f.id = 0x10;
+  ASSERT_TRUE(bus.send(f));  // seq 0
+  ASSERT_TRUE(bus.send(f));  // seq 1 overwrites
+  bus.start();
+  sim.run_until(Time::ms(15));
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 1u);
+}
+
+TEST(Lin, RejectsSlotShorterThanFrame) {
+  Simulator sim;
+  EXPECT_THROW(LinBus(sim, "lin", {{0x10, 1, 8}}, 0.001), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- FlexRay ----
+
+FlexRayConfig small_flexray() {
+  FlexRayConfig cfg;
+  cfg.static_slots = {{0x1, 1, 16}, {0x2, 2, 16}, {0x3, 3, 16}};
+  cfg.static_payload_bytes = 16;
+  return cfg;
+}
+
+TEST(FlexRay, StaticSlotDeterministicLatency) {
+  Simulator sim;
+  FlexRayBus bus(sim, "fr", small_flexray());
+  ev::util::SampleSeries latency;
+  bus.subscribe([&](const Frame& f, Time at) {
+    if (f.id == 0x2) latency.add((at - f.created).to_seconds());
+  });
+  bus.start();
+  // Publish synchronously with the cycle: latency must be constant.
+  sim.schedule_periodic(Time::us(1), Time::seconds(bus.cycle_time_s()), [&] {
+    Frame f;
+    f.id = 0x2;
+    (void)bus.send(f);
+  });
+  sim.run_until(Time::s(1));
+  ASSERT_GT(latency.count(), 100u);
+  // Zero jitter: max == min.
+  EXPECT_NEAR(latency.max() - latency.min(), 0.0, 1e-9);
+}
+
+TEST(FlexRay, DynamicSegmentPriorityOrder) {
+  Simulator sim;
+  FlexRayBus bus(sim, "fr", small_flexray());
+  std::vector<std::uint32_t> order;
+  bus.subscribe([&](const Frame& f, Time) { order.push_back(f.id); });
+  Frame f;
+  f.payload_size = 8;
+  f.id = 0x300;
+  ASSERT_TRUE(bus.send(f));
+  f.id = 0x100;
+  ASSERT_TRUE(bus.send(f));
+  bus.start();
+  sim.run_until(Time::seconds(bus.cycle_time_s() * 2));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0x100u);  // lower id first in the minislot sequence
+}
+
+TEST(FlexRay, DynamicOverflowCarriesToNextCycle) {
+  Simulator sim;
+  FlexRayConfig cfg = small_flexray();
+  cfg.minislot_count = 10;  // tiny dynamic segment
+  FlexRayBus bus(sim, "fr", cfg);
+  int delivered = 0;
+  bus.subscribe([&](const Frame&, Time) { ++delivered; });
+  // Queue more dynamic frames than one cycle can carry.
+  Frame f;
+  f.payload_size = 32;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    f.id = 0x200 + i;
+    ASSERT_TRUE(bus.send(f));
+  }
+  bus.start();
+  sim.run_until(Time::seconds(bus.cycle_time_s() * 1.1));
+  EXPECT_LT(delivered, 6);
+  sim.run_until(Time::seconds(bus.cycle_time_s() * 10));
+  EXPECT_EQ(delivered, 6);
+}
+
+TEST(FlexRay, DuplicateStaticIdRejected) {
+  Simulator sim;
+  FlexRayConfig cfg;
+  cfg.static_slots = {{0x1, 1, 16}, {0x1, 2, 16}};
+  EXPECT_THROW(FlexRayBus(sim, "fr", cfg), std::invalid_argument);
+}
+
+TEST(FlexRay, StateSemanticsOnStaticSlots) {
+  Simulator sim;
+  FlexRayBus bus(sim, "fr", small_flexray());
+  std::vector<std::uint64_t> seqs;
+  bus.subscribe([&](const Frame& f, Time) { seqs.push_back(f.sequence); });
+  Frame f;
+  f.id = 0x1;
+  ASSERT_TRUE(bus.send(f));
+  ASSERT_TRUE(bus.send(f));  // overwrites the buffered value
+  bus.start();
+  sim.run_until(Time::seconds(bus.cycle_time_s() * 1.5));
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 1u);
+}
+
+// ----------------------------------------------------------------- MOST ----
+
+TEST(Most, SynchronousStreamConstantLatency) {
+  Simulator sim;
+  MostBus bus(sim, "most", {{0x800, 8}});
+  ev::util::SampleSeries lat;
+  bus.subscribe([&](const Frame& f, Time at) {
+    if (f.id == 0x800) lat.add((at - f.created).to_seconds());
+  });
+  bus.start();
+  sim.schedule_periodic(Time::ms(1), Time::ms(5), [&] {
+    Frame f;
+    f.id = 0x800;
+    f.payload_size = 8;
+    (void)bus.send(f);
+  });
+  sim.run_until(Time::s(1));
+  ASSERT_GT(lat.count(), 50u);
+  EXPECT_NEAR(lat.max(), bus.frame_period_s(), 1e-6);
+  EXPECT_NEAR(lat.min(), bus.frame_period_s(), 1e-6);
+}
+
+TEST(Most, AsyncLargeTransferFragmented) {
+  Simulator sim;
+  MostBus bus(sim, "most", {});
+  int delivered = 0;
+  bus.subscribe([&](const Frame&, Time) { ++delivered; });
+  Frame f;
+  f.id = 0x900;
+  f.payload_size = 16384;  // needs hundreds of frames of async budget
+  ASSERT_TRUE(bus.send(f));
+  bus.start();
+  sim.run_until(Time::ms(3));
+  EXPECT_EQ(delivered, 0);  // still in flight
+  sim.run_until(Time::ms(500));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Most, SyncReservationBoundsChecked) {
+  Simulator sim;
+  EXPECT_THROW(MostBus(sim, "most", {{0x1, 100}, {0x2, 100}}, 25e6, 44100.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Ethernet ----
+
+TEST(Ethernet, RoutesToDestination) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 4);
+  sw.attach(1, 0);
+  sw.attach(2, 1);
+  sw.add_route(0x10, EthRoute{{1}, EthClass::kBestEffort});
+  int delivered = 0;
+  sw.subscribe([&](const Frame&, Time) { ++delivered; });
+  Frame f;
+  f.id = 0x10;
+  f.source = 1;
+  f.payload_size = 100;
+  EXPECT_TRUE(sw.send(f));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Ethernet, UnknownSourceOrRouteRejected) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 2);
+  sw.attach(1, 0);
+  Frame f;
+  f.id = 0x10;
+  f.source = 99;
+  EXPECT_FALSE(sw.send(f));
+  f.source = 1;
+  EXPECT_FALSE(sw.send(f));  // no route
+}
+
+TEST(Ethernet, LatencyMatchesStoreAndForward) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 2, 100e6, 4e-6);
+  sw.attach(1, 0);
+  sw.add_route(0x10, EthRoute{{1}, EthClass::kBestEffort});
+  double latency = 0.0;
+  sw.subscribe([&](const Frame& f, Time at) { latency = (at - f.created).to_seconds(); });
+  Frame f;
+  f.id = 0x10;
+  f.source = 1;
+  f.payload_size = 100;
+  ASSERT_TRUE(sw.send(f));
+  sim.run();
+  const double wire = EthernetSwitch::frame_bits(100) / 100e6;
+  EXPECT_NEAR(latency, 2 * wire + 4e-6, 1e-7);  // uplink + forward + egress
+}
+
+TEST(Ethernet, StrictPriorityPreemptsQueueOrder) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 2);
+  sw.attach(1, 0);
+  sw.add_route(0x10, EthRoute{{1}, EthClass::kBestEffort});
+  sw.add_route(0x20, EthRoute{{1}, EthClass::kTimeTriggered});
+  std::vector<std::uint32_t> order;
+  sw.subscribe([&](const Frame& f, Time) { order.push_back(f.id); });
+  // Burst of best-effort, then one TT frame right behind.
+  Frame be;
+  be.id = 0x10;
+  be.source = 1;
+  be.payload_size = 1500;
+  Frame tt;
+  tt.id = 0x20;
+  tt.source = 1;
+  tt.payload_size = 64;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(sw.send(be));
+  ASSERT_TRUE(sw.send(tt));
+  sim.run();
+  ASSERT_EQ(order.size(), 4u);
+  // The TT frame overtakes queued best-effort frames at the egress.
+  EXPECT_NE(order.back(), 0x20u);
+}
+
+TEST(Ethernet, CbsThrottlesClassA) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 2);
+  sw.attach(1, 0);
+  sw.add_route(0x30, EthRoute{{1}, EthClass::kAvbClassA});
+  sw.enable_cbs(1, 0.10);  // only 10% of line rate for class A
+  sw.subscribe([](const Frame&, Time) {});
+  // Saturating class-A burst.
+  sim.schedule_periodic(Time{}, Time::us(50), [&] {
+    Frame f;
+    f.id = 0x30;
+    f.source = 1;
+    f.payload_size = 1000;
+    (void)sw.send(f);
+  });
+  sim.run_until(Time::ms(100));
+  // Egress throughput limited to ~10% of 100 Mbit/s = ~1.25 kB/ms.
+  const double goodput_bps =
+      static_cast<double>(sw.delivered_payload_bytes()) * 8.0 / 0.1;
+  EXPECT_LT(goodput_bps, 0.18 * 100e6);
+}
+
+TEST(Ethernet, TimeAwareGateDelaysUntilWindow) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 2);
+  sw.attach(1, 0);
+  sw.add_route(0x40, EthRoute{{1}, EthClass::kTimeTriggered});
+  GateSchedule gs;
+  gs.cycle_s = 1e-3;
+  gs.windows.push_back(GateWindow{0.5e-3, 0.2e-3, true});   // TT window
+  gs.windows.push_back(GateWindow{0.0, 0.5e-3, false});     // the rest
+  gs.windows.push_back(GateWindow{0.7e-3, 0.3e-3, false});
+  sw.set_gate_schedule(1, gs);
+  Time delivered_at;
+  sw.subscribe([&](const Frame&, Time at) { delivered_at = at; });
+  Frame f;
+  f.id = 0x40;
+  f.source = 1;
+  f.payload_size = 64;
+  sim.schedule_at(Time::us(100), [&] { ASSERT_TRUE(sw.send(f)); });
+  sim.run_until(Time::ms(2));
+  // The frame waits for the 0.5 ms TT window.
+  EXPECT_GE(delivered_at.to_seconds(), 0.5e-3);
+  EXPECT_LE(delivered_at.to_seconds(), 0.75e-3);
+}
+
+TEST(Ethernet, MulticastFanOut) {
+  Simulator sim;
+  EthernetSwitch sw(sim, "eth", 4);
+  sw.attach(1, 0);
+  sw.add_route(0x50, EthRoute{{1, 2, 3}, EthClass::kBestEffort});
+  int delivered = 0;
+  sw.subscribe([&](const Frame&, Time) { ++delivered; });
+  Frame f;
+  f.id = 0x50;
+  f.source = 1;
+  ASSERT_TRUE(sw.send(f));
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST(Ethernet, MinimumFramePadding) {
+  EXPECT_EQ(EthernetSwitch::frame_bits(1), EthernetSwitch::frame_bits(46));
+  EXPECT_GT(EthernetSwitch::frame_bits(100), EthernetSwitch::frame_bits(46));
+}
+
+// ------------------------------------------------------------------ PTP ----
+
+TEST(Ptp, ResidualErrorBounded) {
+  Simulator sim;
+  ev::util::Rng rng(31);
+  PtpConfig cfg;
+  PtpSync sync(sim, {20.0, -35.0, 50.0}, cfg, rng);
+  sync.start();
+  sim.run_until(Time::s(10));
+  EXPECT_GT(sync.rounds(), 50u);
+  // After convergence the residual must be far below a millisecond —
+  // microsecond-class, enabling time-triggered Ethernet guard bands.
+  EXPECT_LT(sync.residual_error().percentile(99), 20e-6);
+}
+
+TEST(Ptp, AsymmetryCreatesErrorFloor) {
+  Simulator sim;
+  ev::util::Rng rng(33);
+  PtpConfig cfg;
+  cfg.asymmetry_s = 5e-6;
+  PtpSync sync(sim, {10.0}, cfg, rng);
+  sync.start();
+  sim.run_until(Time::s(10));
+  // The uncompensated asymmetry biases every estimate by ~asymmetry.
+  EXPECT_GT(sync.residual_error().percentile(50), 2e-6);
+}
+
+TEST(DriftingClock, DriftAccumulates) {
+  DriftingClock clock(100.0, 0.0);  // 100 ppm
+  EXPECT_NEAR(clock.error_s(Time::s(10)), 1e-3, 1e-9);
+  clock.correct(1e-3);
+  EXPECT_NEAR(clock.error_s(Time::s(10)), 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- gateway ----
+
+TEST(Gateway, ForwardsAndTranslates) {
+  Simulator sim;
+  CanBus a(sim, "a", 500e3);
+  CanBus b(sim, "b", 500e3);
+  Gateway gw(sim, "gw", 100e-6);
+  gw.add_route({&a, 0x10, &b, 0x99, 4});
+  std::vector<std::uint32_t> seen;
+  b.subscribe([&](const Frame& f, Time) { seen.push_back(f.id); });
+  Frame f;
+  f.id = 0x10;
+  f.payload_size = 8;
+  ASSERT_TRUE(a.send(f));
+  sim.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 0x99u);
+  EXPECT_EQ(gw.forwarded_count(), 1u);
+}
+
+TEST(Gateway, PreservesEndToEndTimestamp) {
+  Simulator sim;
+  CanBus a(sim, "a", 500e3);
+  CanBus b(sim, "b", 500e3);
+  Gateway gw(sim, "gw", 200e-6);
+  gw.add_route({&a, 0x10, &b, 0x10, 0});
+  double e2e = 0.0;
+  b.subscribe([&](const Frame& f, Time at) { e2e = (at - f.created).to_seconds(); });
+  // Send at t > 0: a zero `created` stamp is the "unset" sentinel, so a
+  // frame genuinely created at t = 0 would be re-stamped by the second bus.
+  sim.schedule_at(Time::ms(1), [&] {
+    Frame f;
+    f.id = 0x10;
+    f.payload_size = 8;
+    ASSERT_TRUE(a.send(f));
+  });
+  sim.run();
+  // Two CAN transmissions (270 us each) + 200 us gateway processing.
+  EXPECT_NEAR(e2e, 2 * 270e-6 + 200e-6, 5e-6);
+}
+
+TEST(Gateway, CountsDropsOnRejectingTarget) {
+  Simulator sim;
+  CanBus a(sim, "a", 500e3);
+  LinBus b(sim, "b", {{0x10, 1, 2}});
+  Gateway gw(sim, "gw");
+  gw.add_route({&a, 0x20, &b, 0x42, 0});  // 0x42 has no LIN slot
+  Frame f;
+  f.id = 0x20;
+  f.payload_size = 8;
+  ASSERT_TRUE(a.send(f));
+  sim.run();
+  EXPECT_EQ(gw.dropped_count(), 1u);
+}
+
+// ------------------------------------------------------------- topology ----
+
+TEST(Figure1, BuildsFiveBuses) {
+  Simulator sim;
+  Figure1Network net(sim);
+  EXPECT_EQ(net.buses().size(), 5u);
+  EXPECT_GT(net.sources().size(), 15u);
+}
+
+TEST(Figure1, TrafficFlowsEverywhere) {
+  Simulator sim;
+  Figure1Network net(sim);
+  net.start();
+  sim.run_until(Time::s(5));
+  for (Bus* bus : net.buses()) {
+    EXPECT_GT(bus->delivered_count(), 10u) << bus->name();
+    EXPECT_GT(bus->utilization(), 0.0) << bus->name();
+    EXPECT_LT(bus->utilization(), 1.0) << bus->name();
+  }
+  EXPECT_GT(net.gateway().forwarded_count(), 50u);
+}
+
+TEST(Figure1, CrossDomainFlowsMeasured) {
+  Simulator sim;
+  Figure1Network net(sim);
+  net.start();
+  sim.run_until(Time::s(5));
+  ASSERT_EQ(net.flow_latency().size(), 3u);
+  for (const auto& [name, series] : net.flow_latency()) {
+    EXPECT_GT(series.count(), 10u) << name;
+    EXPECT_LT(series.max(), 0.2) << name;  // cross-domain within 200 ms
+  }
+}
+
+TEST(Figure1, LoadScaleIncreasesUtilization) {
+  Simulator sim_lo;
+  Figure1Config lo;
+  lo.load_scale = 0.5;
+  Figure1Network net_lo(sim_lo, lo);
+  net_lo.start();
+  sim_lo.run_until(Time::s(3));
+
+  Simulator sim_hi;
+  Figure1Config hi;
+  hi.load_scale = 2.0;
+  Figure1Network net_hi(sim_hi, hi);
+  net_hi.start();
+  sim_hi.run_until(Time::s(3));
+
+  EXPECT_GT(net_hi.safety_can().utilization(), net_lo.safety_can().utilization());
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Unit tests for the discrete-event kernel and the trace recorder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ev/sim/simulator.h"
+#include "ev/sim/trace.h"
+
+namespace {
+
+using ev::sim::Simulator;
+using ev::sim::Time;
+using ev::sim::Trace;
+
+TEST(Time, FactoryAndConversion) {
+  EXPECT_EQ(Time::us(1).count_ns(), 1000);
+  EXPECT_EQ(Time::ms(2).count_ns(), 2'000'000);
+  EXPECT_EQ(Time::s(1).count_ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::seconds(0.5).to_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(Time::ms(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::us(250).to_us(), 250.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::ms(10);
+  const Time b = Time::ms(3);
+  EXPECT_EQ((a + b).count_ns(), Time::ms(13).count_ns());
+  EXPECT_EQ((a - b).count_ns(), Time::ms(7).count_ns());
+  EXPECT_EQ((a * 3).count_ns(), Time::ms(30).count_ns());
+  EXPECT_EQ(a / b, 3);
+  EXPECT_EQ((a % b).count_ns(), Time::ms(1).count_ns());
+  EXPECT_LT(b, a);
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(Time::s(2).to_string(), "2 s");
+  EXPECT_EQ(Time::ms(5).to_string(), "5 ms");
+  EXPECT_EQ(Time::us(7).to_string(), "7 us");
+  EXPECT_EQ(Time::ns(9).to_string(), "9 ns");
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(Time::ms(30), [&] { fired.push_back(3); });
+  sim.schedule_at(Time::ms(10), [&] { fired.push_back(1); });
+  sim.schedule_at(Time::ms(20), [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::ms(30));
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(Time::ms(5), [&fired, i] { fired.push_back(i); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time seen;
+  sim.schedule_at(Time::ms(10), [&] {
+    sim.schedule_in(Time::ms(5), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, Time::ms(15));
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(Time::ms(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(Time::ms(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(Time::ms(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PeriodicRepeatsUntilCancelled) {
+  Simulator sim;
+  int count = 0;
+  ev::sim::EventId id = 0;
+  id = sim.schedule_periodic(Time::ms(10), Time::ms(10), [&] {
+    if (++count == 5) sim.cancel(id);
+  });
+  sim.run_until(Time::s(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicExactTimestamps) {
+  Simulator sim;
+  std::vector<Time> at;
+  const auto id = sim.schedule_periodic(Time::ms(3), Time::ms(7),
+                                        [&] { at.push_back(sim.now()); });
+  sim.run_until(Time::ms(25));
+  sim.cancel(id);
+  ASSERT_EQ(at.size(), 4u);  // 3, 10, 17, 24 ms
+  EXPECT_EQ(at[0], Time::ms(3));
+  EXPECT_EQ(at[3], Time::ms(24));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBoundary) {
+  Simulator sim;
+  sim.schedule_at(Time::ms(5), [] {});
+  const std::size_t n = sim.run_until(Time::ms(100));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(sim.now(), Time::ms(100));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.schedule_at(Time::ms(200), [&] { late_fired = true; });
+  sim.run_until(Time::ms(100));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulator, StepSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::ms(1), [&] { ++fired; });
+  sim.schedule_at(Time::ms(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, HandlerMaySchedule) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_in(Time::us(1), chain);
+  };
+  sim.schedule_at(Time{}, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(Simulator, PeriodicHandlerCancelSelfInsideHandler) {
+  Simulator sim;
+  int count = 0;
+  ev::sim::EventId id = sim.schedule_periodic(Time::ms(1), Time::ms(1), [&] { ++count; });
+  sim.schedule_at(Time::ms(3) + Time::us(1), [&] { sim.cancel(id); });
+  sim.run_until(Time::ms(100));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Trace, RecordsAndStats) {
+  Trace t("signal");
+  t.record(Time::ms(0), 1.0);
+  t.record(Time::ms(10), 3.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(), "signal");
+  EXPECT_DOUBLE_EQ(t.stats().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(t.last(), 3.0);
+}
+
+TEST(Trace, SampleAtInterpolates) {
+  Trace t;
+  t.record(Time::ms(0), 0.0);
+  t.record(Time::ms(10), 10.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(Time::ms(5)), 5.0);
+  EXPECT_DOUBLE_EQ(t.sample_at(Time::ms(-5)), 0.0);   // clamp below
+  EXPECT_DOUBLE_EQ(t.sample_at(Time::ms(50)), 10.0);  // clamp above
+}
+
+TEST(Trace, SampleAtEmptyThrows) {
+  Trace t;
+  EXPECT_THROW((void)t.sample_at(Time::ms(1)), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,349 @@
+// Unit tests for the timing-analysis substrate: concrete caches (LRU, FIFO,
+// PLRU), the program model and generator, abstract must-analysis, the
+// precise collecting analysis, WCET bounds, and scratchpad allocation.
+#include <gtest/gtest.h>
+
+#include "ev/timing/analysis.h"
+#include "ev/timing/cache.h"
+#include "ev/timing/program.h"
+#include "ev/timing/spm.h"
+#include "ev/util/rng.h"
+
+namespace {
+
+using namespace ev::timing;
+
+constexpr std::uint64_t line(std::uint64_t k) { return 0x1000 + 64 * k; }
+
+CacheConfig tiny_cache(Replacement policy, std::size_t ways = 2) {
+  CacheConfig c;
+  c.sets = 1;  // fully associative within one set: simplest to reason about
+  c.ways = ways;
+  c.policy = policy;
+  return c;
+}
+
+// ---------------------------------------------------------------- caches ----
+
+TEST(CacheSim, LruEvictsLeastRecent) {
+  CacheSim c(tiny_cache(Replacement::kLru, 2));
+  EXPECT_FALSE(c.access(line(0)));
+  EXPECT_FALSE(c.access(line(1)));
+  EXPECT_TRUE(c.access(line(0)));   // touch 0 -> 1 becomes LRU
+  EXPECT_FALSE(c.access(line(2)));  // evicts 1
+  EXPECT_TRUE(c.access(line(0)));
+  EXPECT_FALSE(c.access(line(1)));  // 1 was evicted
+}
+
+TEST(CacheSim, FifoIgnoresHits) {
+  CacheSim c(tiny_cache(Replacement::kFifo, 2));
+  EXPECT_FALSE(c.access(line(0)));
+  EXPECT_FALSE(c.access(line(1)));
+  EXPECT_TRUE(c.access(line(0)));   // hit does NOT refresh insertion order
+  EXPECT_FALSE(c.access(line(2)));  // evicts 0 (oldest by insertion)
+  EXPECT_FALSE(c.access(line(0)));  // 0 gone — the FIFO anomaly vs LRU
+}
+
+TEST(CacheSim, PlruTracksTreeBits) {
+  CacheSim c(tiny_cache(Replacement::kPlru, 4));
+  for (int k = 0; k < 4; ++k) EXPECT_FALSE(c.access(line(static_cast<std::uint64_t>(k))));
+  for (int k = 0; k < 4; ++k) EXPECT_TRUE(c.access(line(static_cast<std::uint64_t>(k))));
+  EXPECT_FALSE(c.access(line(9)));  // one of the four is evicted
+  // Probe membership on copies so the probes themselves cannot evict.
+  int hits = 0;
+  for (int k = 0; k < 4; ++k) {
+    CacheSim probe = c;
+    if (probe.access(line(static_cast<std::uint64_t>(k)))) ++hits;
+  }
+  EXPECT_EQ(hits, 3);  // exactly one victim was chosen
+}
+
+TEST(CacheSim, SetIndexingSeparatesLines) {
+  CacheConfig cfg;
+  cfg.sets = 4;
+  cfg.ways = 1;
+  CacheSim c(cfg);
+  // Lines mapping to different sets do not evict each other.
+  EXPECT_FALSE(c.access(0 * 64));
+  EXPECT_FALSE(c.access(1 * 64));
+  EXPECT_TRUE(c.access(0 * 64));
+  EXPECT_TRUE(c.access(1 * 64));
+  // Same set, different tag: conflict.
+  EXPECT_FALSE(c.access(4 * 64));
+  EXPECT_FALSE(c.access(0 * 64));
+}
+
+TEST(CacheSim, CycleAccounting) {
+  CacheConfig cfg = tiny_cache(Replacement::kLru);
+  cfg.hit_cycles = 1;
+  cfg.miss_cycles = 10;
+  CacheSim c(cfg);
+  (void)c.access(line(0));  // miss
+  (void)c.access(line(0));  // hit
+  EXPECT_EQ(c.cycles(), 11);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheSim, PlruRequiresPowerOfTwo) {
+  CacheConfig cfg = tiny_cache(Replacement::kPlru, 3);
+  EXPECT_THROW(CacheSim{cfg}, std::invalid_argument);
+}
+
+// --------------------------------------------------------------- program ----
+
+TEST(Program, GeneratorProducesAcyclicCfg) {
+  ev::util::Rng rng(41);
+  ProgramGenConfig cfg;
+  cfg.segments = 12;
+  const Program p = generate_program(cfg, rng);
+  EXPECT_GT(p.blocks.size(), 11u);
+  EXPECT_NO_THROW((void)p.topological_order());
+  EXPECT_GT(p.access_count(), 100u);
+  EXPECT_GE(p.path_count(), 1.0);
+}
+
+TEST(Program, PathCountGrowsWithDiamonds) {
+  ev::util::Rng rng1(1), rng2(1);
+  ProgramGenConfig few;
+  few.segments = 4;
+  few.branch_probability = 0.0;
+  ProgramGenConfig many;
+  many.segments = 10;
+  many.branch_probability = 1.0;
+  EXPECT_EQ(generate_program(few, rng1).path_count(), 1.0);
+  EXPECT_EQ(generate_program(many, rng2).path_count(), 1024.0);  // 2^10
+}
+
+TEST(Program, DeterministicForSeed) {
+  ev::util::Rng a(5), b(5);
+  ProgramGenConfig cfg;
+  const Program pa = generate_program(cfg, a);
+  const Program pb = generate_program(cfg, b);
+  ASSERT_EQ(pa.blocks.size(), pb.blocks.size());
+  for (std::size_t i = 0; i < pa.blocks.size(); ++i)
+    EXPECT_EQ(pa.blocks[i].accesses, pb.blocks[i].accesses);
+}
+
+// ----------------------------------------------------------- must analysis ----
+
+Program straight_line(std::vector<std::vector<std::uint64_t>> accesses) {
+  Program p;
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    BasicBlock b;
+    b.id = static_cast<int>(i);
+    b.accesses = std::move(accesses[i]);
+    if (i + 1 < accesses.size()) b.successors = {static_cast<int>(i + 1)};
+    p.blocks.push_back(std::move(b));
+  }
+  return p;
+}
+
+TEST(MustAnalysis, RepeatedAccessClassifiedHit) {
+  const Program p = straight_line({{line(0), line(0)}});
+  const AnalysisResult r = must_analysis(p, tiny_cache(Replacement::kLru));
+  EXPECT_EQ(r.blocks[0].first_iteration[0], Classification::kNotClassified);  // cold
+  EXPECT_EQ(r.blocks[0].first_iteration[1], Classification::kAlwaysHit);
+}
+
+TEST(MustAnalysis, JoinLosesOneSidedLines) {
+  // Diamond: then-branch loads line 1, else-branch does not; after the join
+  // line 1 must not be classified as a hit.
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0] = {0, {line(0)}, 1, {1, 2}};
+  p.blocks[1] = {1, {line(1)}, 1, {3}};
+  p.blocks[2] = {2, {line(2)}, 1, {3}};
+  p.blocks[3] = {3, {line(1)}, 1, {}};
+  const AnalysisResult r = must_analysis(p, tiny_cache(Replacement::kLru, 4));
+  EXPECT_EQ(r.blocks[3].first_iteration[0], Classification::kNotClassified);
+}
+
+TEST(MustAnalysis, LoopSteadyStateHits) {
+  // A loop block re-touching its working set: steady iterations all hit.
+  Program p = straight_line({{line(0), line(1)}});
+  p.blocks[0].iterations = 10;
+  const AnalysisResult r = must_analysis(p, tiny_cache(Replacement::kLru, 4));
+  EXPECT_EQ(r.blocks[0].steady_state[0], Classification::kAlwaysHit);
+  EXPECT_EQ(r.blocks[0].steady_state[1], Classification::kAlwaysHit);
+}
+
+TEST(MustAnalysis, FifoGetsFewerGuarantees) {
+  ev::util::Rng rng(43);
+  ProgramGenConfig cfg;
+  cfg.segments = 8;
+  const Program p = generate_program(cfg, rng);
+  const CacheConfig lru = {8, 4, 64, 1, 20, Replacement::kLru};
+  const CacheConfig fifo = {8, 4, 64, 1, 20, Replacement::kFifo};
+  auto count_hits = [](const AnalysisResult& r) {
+    std::size_t n = 0;
+    for (const auto& b : r.blocks)
+      for (auto c : b.first_iteration)
+        if (c == Classification::kAlwaysHit) ++n;
+    return n;
+  };
+  EXPECT_GE(count_hits(must_analysis(p, lru)), count_hits(must_analysis(p, fifo)));
+}
+
+// Soundness property: every access the must-analysis classifies as
+// AlwaysHit really hits on random concrete executions.
+class MustSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MustSoundness, AlwaysHitNeverMisses) {
+  ev::util::Rng rng(GetParam());
+  ProgramGenConfig gen;
+  gen.segments = 8;
+  const Program p = generate_program(gen, rng);
+  const CacheConfig cfg = {4, 2, 64, 1, 20, Replacement::kLru};
+  const AnalysisResult r = must_analysis(p, cfg);
+
+  ev::util::Rng path_rng(GetParam() + 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    CacheSim sim(cfg);
+    int id = p.topological_order().front();
+    while (true) {
+      const BasicBlock& b = p.blocks[static_cast<std::size_t>(id)];
+      for (std::int64_t iter = 0; iter < b.iterations; ++iter) {
+        for (std::size_t a = 0; a < b.accesses.size(); ++a) {
+          const bool hit = sim.access(b.accesses[a]);
+          const Classification cls =
+              iter == 0 ? r.blocks[static_cast<std::size_t>(id)].first_iteration[a]
+                        : r.blocks[static_cast<std::size_t>(id)].steady_state[a];
+          if (cls == Classification::kAlwaysHit)
+            ASSERT_TRUE(hit) << "unsound AlwaysHit in block " << id << " access " << a;
+        }
+      }
+      if (b.successors.empty()) break;
+      id = b.successors[static_cast<std::size_t>(
+          path_rng.uniform_int(0, static_cast<std::int64_t>(b.successors.size()) - 1))];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MustSoundness, ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------- collecting analysis ----
+
+TEST(Collecting, ExactOnStraightLine) {
+  const Program p = straight_line({{line(0), line(1), line(0)}});
+  const AnalysisResult r = collecting_analysis(p, tiny_cache(Replacement::kLru, 2));
+  EXPECT_EQ(r.blocks[0].first_iteration[0], Classification::kAlwaysMiss);
+  EXPECT_EQ(r.blocks[0].first_iteration[1], Classification::kAlwaysMiss);
+  EXPECT_EQ(r.blocks[0].first_iteration[2], Classification::kAlwaysHit);
+}
+
+TEST(Collecting, AtLeastAsPreciseAsMust) {
+  ev::util::Rng rng(47);
+  ProgramGenConfig gen;
+  gen.segments = 6;
+  const Program p = generate_program(gen, rng);
+  const CacheConfig cfg = {4, 2, 64, 1, 20, Replacement::kLru};
+  const std::int64_t bound_must = wcet_bound_cycles(p, cfg, must_analysis(p, cfg));
+  const std::int64_t bound_coll = wcet_bound_cycles(p, cfg, collecting_analysis(p, cfg));
+  EXPECT_LE(bound_coll, bound_must);
+}
+
+TEST(Collecting, DegradesGracefullyAtStateCap) {
+  ev::util::Rng rng(49);
+  ProgramGenConfig gen;
+  gen.segments = 10;
+  gen.branch_probability = 1.0;
+  const Program p = generate_program(gen, rng);
+  const CacheConfig cfg = {4, 2, 64, 1, 20, Replacement::kLru};
+  // Absurdly small cap: the analysis must still terminate and stay sound
+  // (degraded blocks classify NotClassified = miss in the bound).
+  const AnalysisResult capped = collecting_analysis(p, cfg, 2);
+  const std::int64_t bound_capped = wcet_bound_cycles(p, cfg, capped);
+  const std::int64_t exact = exact_wcet_cycles(p, cfg);
+  ASSERT_GE(exact, 0);
+  EXPECT_GE(bound_capped, exact);
+}
+
+// ------------------------------------------------------------------ WCET ----
+
+TEST(Wcet, BoundDominatesExactDominatesObserved) {
+  ev::util::Rng rng(51);
+  ProgramGenConfig gen;
+  gen.segments = 7;
+  const Program p = generate_program(gen, rng);
+  const CacheConfig cfg = {8, 2, 64, 1, 20, Replacement::kLru};
+
+  const std::int64_t bound = wcet_bound_cycles(p, cfg, must_analysis(p, cfg));
+  const std::int64_t exact = exact_wcet_cycles(p, cfg);
+  ev::util::Rng sample_rng(52);
+  const std::int64_t observed = observed_wcet_cycles(p, cfg, 200, sample_rng);
+
+  ASSERT_GE(exact, 0);
+  EXPECT_GE(bound, exact);
+  EXPECT_GE(exact, observed);
+  EXPECT_GT(observed, 0);
+}
+
+TEST(Wcet, ExactRefusesHugePathCounts) {
+  ev::util::Rng rng(53);
+  ProgramGenConfig gen;
+  gen.segments = 30;
+  gen.branch_probability = 1.0;  // 2^30 paths
+  const Program p = generate_program(gen, rng);
+  EXPECT_EQ(exact_wcet_cycles(p, {8, 2, 64, 1, 20, Replacement::kLru}, 1e6), -1);
+}
+
+TEST(Wcet, LongestPathPicksWorseBranch) {
+  // Diamond where the else-branch is far more expensive.
+  Program p;
+  p.blocks.resize(4);
+  p.blocks[0] = {0, {line(0)}, 1, {1, 2}};
+  p.blocks[1] = {1, {line(1)}, 1, {3}};
+  p.blocks[2] = {2, {line(2), line(3), line(4), line(5)}, 1, {3}};
+  p.blocks[3] = {3, {line(0)}, 1, {}};
+  const CacheConfig cfg = {1, 8, 64, 1, 20, Replacement::kLru};
+  const std::int64_t bound = wcet_bound_cycles(p, cfg, must_analysis(p, cfg));
+  // Worst path: 0 (miss) + else (4 misses) + join (hit on line 0) = 5*20 + 1.
+  EXPECT_EQ(bound, 101);
+}
+
+// ------------------------------------------------------------------- SPM ----
+
+TEST(Spm, AllocationPrefersHotLines) {
+  Program p = straight_line({{line(0), line(0), line(0), line(1)}});
+  SpmConfig cfg;
+  cfg.capacity_lines = 1;
+  const SpmAllocation alloc = allocate_spm(p, cfg);
+  ASSERT_EQ(alloc.lines.size(), 1u);
+  EXPECT_TRUE(alloc.lines.contains(line(0)));
+}
+
+TEST(Spm, WcetExactlyPredictable) {
+  Program p = straight_line({{line(0), line(1), line(0)}});
+  SpmConfig cfg;
+  cfg.capacity_lines = 1;
+  const SpmAllocation alloc = allocate_spm(p, cfg);
+  // line(0): 2 accesses in SPM (1 cycle), line(1): memory (20 cycles).
+  EXPECT_EQ(alloc.wcet_cycles, 2 * 1 + 20);
+  EXPECT_EQ(alloc.total_static_accesses, 3);
+  EXPECT_EQ(alloc.spm_static_accesses, 2);
+}
+
+TEST(Spm, MoreCapacityNeverHurts) {
+  ev::util::Rng rng(55);
+  ProgramGenConfig gen;
+  gen.segments = 8;
+  const Program p = generate_program(gen, rng);
+  SpmConfig small;
+  small.capacity_lines = 4;
+  SpmConfig big;
+  big.capacity_lines = 32;
+  EXPECT_GE(allocate_spm(p, small).wcet_cycles, allocate_spm(p, big).wcet_cycles);
+}
+
+TEST(Spm, IterationWeightedFrequency) {
+  // A loop block's line beats a one-shot line for the single SPM slot.
+  Program p = straight_line({{line(0)}, {line(1)}});
+  p.blocks[1].iterations = 50;
+  SpmConfig cfg;
+  cfg.capacity_lines = 1;
+  const SpmAllocation alloc = allocate_spm(p, cfg);
+  EXPECT_TRUE(alloc.lines.contains(line(1)));
+}
+
+}  // namespace

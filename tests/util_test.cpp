@@ -1,0 +1,291 @@
+// Unit tests for ev::util — math helpers, deterministic RNG, statistics,
+// table rendering, CRC, and the bounded ring buffer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "ev/util/crc.h"
+#include "ev/util/math.h"
+#include "ev/util/ring_buffer.h"
+#include "ev/util/rng.h"
+#include "ev/util/stats.h"
+#include "ev/util/table.h"
+#include "ev/util/units.h"
+
+namespace {
+
+using namespace ev::util;
+
+// ---------------------------------------------------------------- math ----
+
+TEST(Math, ClampBounds) {
+  EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Math, LerpEndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(Math, SignFunction) {
+  EXPECT_EQ(sign(3.2), 1);
+  EXPECT_EQ(sign(-0.1), -1);
+  EXPECT_EQ(sign(0.0), 0);
+}
+
+TEST(Math, WrapAngleIntoRange) {
+  EXPECT_NEAR(wrap_angle(3.0 * kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_angle(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_angle_signed(kTwoPi - 0.25), -0.25, 1e-12);
+}
+
+TEST(Math, ApproxEqualTolerances) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.01));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 + 0.5, 1e-9, 1e-9));
+}
+
+TEST(Math, IntegerHelpers) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(10000, 25000), 50000);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(kmh_to_mps(36.0), 10.0);
+  EXPECT_DOUBLE_EQ(mps_to_kmh(10.0), 36.0);
+  EXPECT_NEAR(rpm_to_rad_s(60.0), kTwoPi, 1e-9);
+  EXPECT_NEAR(rad_s_to_rpm(rpm_to_rad_s(1234.0)), 1234.0, 1e-9);
+  EXPECT_DOUBLE_EQ(wh_to_j(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(j_to_kwh(3.6e6), 1.0);
+  EXPECT_DOUBLE_EQ(ah_to_coulomb(2.0), 7200.0);
+}
+
+// ----------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  bool seen[6] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform_int(0, 5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanApproximate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.08);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.range(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(SampleSeries, PercentilesExact) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+}
+
+TEST(SampleSeries, PercentileAfterMoreSamples) {
+  SampleSeries s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(20.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(1, 1), "22");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t("", {"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, FixedAndSiAndPercent) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.256, 1), "25.6%");
+  EXPECT_EQ(fmt_si(1500.0, 1), "1.5 k");
+  EXPECT_EQ(fmt_si(0.002, 1), "2.0 m");
+}
+
+// ----------------------------------------------------------------- crc ----
+
+TEST(Crc, Crc32KnownVector) {
+  const char* s = "123456789";
+  const auto crc = crc32_ieee(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);  // canonical check value
+}
+
+TEST(Crc, Crc32EmptyIsZero) {
+  EXPECT_EQ(crc32_ieee({}), 0x00000000u);
+}
+
+TEST(Crc, Crc15DetectsChange) {
+  std::uint8_t a[4] = {1, 2, 3, 4};
+  std::uint8_t b[4] = {1, 2, 3, 5};
+  EXPECT_NE(crc15_can(a), crc15_can(b));
+  EXPECT_LT(crc15_can(a), 1u << 15);  // 15-bit result
+}
+
+TEST(Crc, Crc15Deterministic) {
+  std::uint8_t a[8] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4};
+  EXPECT_EQ(crc15_can(a), crc15_can(a));
+}
+
+// --------------------------------------------------------- ring buffer ----
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_FALSE(rb.push(4));  // full
+  EXPECT_EQ(rb.pop().value(), 1);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.pop().value(), 2);
+  EXPECT_EQ(rb.pop().value(), 3);
+  EXPECT_EQ(rb.pop().value(), 4);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, FrontAndClear) {
+  RingBuffer<std::string> rb(2);
+  EXPECT_THROW((void)rb.front(), std::out_of_range);
+  ASSERT_TRUE(rb.push("x"));
+  EXPECT_EQ(rb.front(), "x");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), 2u);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+// Property sweep: push/pop sequences preserve count invariants.
+class RingBufferProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferProperty, SizeNeverExceedsCapacity) {
+  const std::size_t cap = GetParam();
+  RingBuffer<int> rb(cap);
+  Rng rng(cap);
+  std::size_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.bernoulli(0.6)) {
+      if (rb.push(i)) ++expected;
+    } else {
+      if (rb.pop().has_value()) --expected;
+    }
+    EXPECT_EQ(rb.size(), expected);
+    EXPECT_LE(rb.size(), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferProperty,
+                         ::testing::Values(1, 2, 7, 64));
+
+}  // namespace

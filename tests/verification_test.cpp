@@ -1,0 +1,164 @@
+// Unit tests for the event-count-automata verification layer: requirement
+// monitors, system models, and the product model checker.
+#include <gtest/gtest.h>
+
+#include "ev/verification/automaton.h"
+#include "ev/verification/model_checker.h"
+#include "ev/verification/system_model.h"
+
+namespace {
+
+using namespace ev::verification;
+
+std::vector<Slot> pattern(std::initializer_list<int> bits) {
+  std::vector<Slot> p;
+  for (int b : bits) p.push_back(b ? Slot::kTransmit : Slot::kDrop);
+  return p;
+}
+
+// -------------------------------------------------------------- monitors ----
+
+TEST(MaxConsecutiveDrops, AcceptsWithinBound) {
+  const MonitorDfa m = MonitorDfa::max_consecutive_drops(2);
+  EXPECT_TRUE(m.accepts(pattern({1, 0, 0, 1, 0, 1, 0, 0, 1})));
+}
+
+TEST(MaxConsecutiveDrops, RejectsBurst) {
+  const MonitorDfa m = MonitorDfa::max_consecutive_drops(2);
+  EXPECT_FALSE(m.accepts(pattern({1, 0, 0, 0, 1})));
+}
+
+TEST(MaxConsecutiveDrops, ZeroToleranceMeansEverySlot) {
+  const MonitorDfa m = MonitorDfa::max_consecutive_drops(0);
+  EXPECT_TRUE(m.accepts(pattern({1, 1, 1})));
+  EXPECT_FALSE(m.accepts(pattern({1, 0, 1})));
+}
+
+TEST(AtLeastMofN, AcceptsDensePattern) {
+  const MonitorDfa m = MonitorDfa::at_least_m_of_n(2, 4);
+  EXPECT_TRUE(m.accepts(pattern({1, 1, 0, 1, 1, 0, 1, 1})));
+}
+
+TEST(AtLeastMofN, RejectsSparseWindow) {
+  const MonitorDfa m = MonitorDfa::at_least_m_of_n(3, 4);
+  // Window 1,0,0,1 has only two transmissions.
+  EXPECT_FALSE(m.accepts(pattern({1, 0, 0, 1})));
+}
+
+TEST(AtLeastMofN, StateCountIsExponential) {
+  EXPECT_EQ(MonitorDfa::at_least_m_of_n(2, 5).state_count(), (1u << 4) + 1);
+  EXPECT_EQ(MonitorDfa::at_least_m_of_n(2, 9).state_count(), (1u << 8) + 1);
+}
+
+TEST(AtLeastMofN, BoundsValidated) {
+  EXPECT_THROW(MonitorDfa::at_least_m_of_n(5, 4), std::invalid_argument);
+  EXPECT_THROW(MonitorDfa::at_least_m_of_n(1, 0), std::invalid_argument);
+  EXPECT_THROW(MonitorDfa::at_least_m_of_n(1, 30), std::invalid_argument);
+}
+
+TEST(MonitorDfa, ValidatesTrapErrorState) {
+  // Error state that is not a trap must be rejected.
+  std::vector<std::array<std::size_t, 2>> tr = {{1, 0}, {0, 0}};
+  EXPECT_THROW(MonitorDfa(tr, 0, 1, "bad"), std::invalid_argument);
+}
+
+TEST(MonitorDfa, DescriptionsHuman) {
+  EXPECT_NE(MonitorDfa::at_least_m_of_n(2, 4).description().find("at least 2"),
+            std::string::npos);
+  EXPECT_NE(MonitorDfa::max_consecutive_drops(3).description().find("3"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------- system models ----
+
+TEST(TimeTriggered, EmitsGapPerCycle) {
+  const TransmissionSystem s = TransmissionSystem::time_triggered(5, 1);
+  EXPECT_EQ(s.state_count(), 5u);
+  // Deterministic: one edge per state.
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(s.edges(k).size(), 1u);
+}
+
+TEST(Arbitrated, BoundedNondeterminism) {
+  const TransmissionSystem s = TransmissionSystem::arbitrated(3);
+  EXPECT_EQ(s.state_count(), 4u);
+  EXPECT_EQ(s.edges(0).size(), 2u);  // win or lose
+  EXPECT_EQ(s.edges(3).size(), 1u);  // forced win at the bound
+}
+
+TEST(SystemModel, ValidatesEdges) {
+  std::vector<std::vector<NfaEdge>> edges(1);
+  EXPECT_THROW(TransmissionSystem(edges, "empty state"), std::invalid_argument);
+  edges[0].push_back(NfaEdge{Slot::kTransmit, 7});
+  EXPECT_THROW(TransmissionSystem(edges, "bad target"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- checking ----
+
+TEST(Verify, TimeTriggeredMeetsLooseRequirement) {
+  // 1 gap slot per 5-cycle: satisfies "at least 3 of any 5".
+  const auto sys = TransmissionSystem::time_triggered(5, 1);
+  const auto req = MonitorDfa::at_least_m_of_n(3, 5);
+  const auto result = verify(sys, req);
+  EXPECT_TRUE(result.verified);
+  EXPECT_TRUE(result.counterexample.empty());
+  EXPECT_GT(result.product_states, 0u);
+}
+
+TEST(Verify, TimeTriggeredViolatesTightRequirement) {
+  // 2 gap slots per 5-cycle cannot give 4-of-5 everywhere.
+  const auto sys = TransmissionSystem::time_triggered(5, 2);
+  const auto req = MonitorDfa::at_least_m_of_n(4, 5);
+  const auto result = verify(sys, req);
+  EXPECT_FALSE(result.verified);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(Verify, ArbitratedWithinDropBudget) {
+  // Bursts of at most 2 losses meet "never 3 consecutive drops".
+  const auto sys = TransmissionSystem::arbitrated(2);
+  const auto req = MonitorDfa::max_consecutive_drops(2);
+  EXPECT_TRUE(verify(sys, req).verified);
+}
+
+TEST(Verify, ArbitratedExceedsTighterBudget) {
+  const auto sys = TransmissionSystem::arbitrated(3);
+  const auto req = MonitorDfa::max_consecutive_drops(2);
+  const auto result = verify(sys, req);
+  EXPECT_FALSE(result.verified);
+  // BFS counterexample is minimal: exactly 3 drops.
+  EXPECT_EQ(result.counterexample.size(), 3u);
+}
+
+TEST(Verify, UnboundedDropsFailEverything) {
+  const auto sys = TransmissionSystem::unbounded_drops();
+  EXPECT_FALSE(verify(sys, MonitorDfa::max_consecutive_drops(5)).verified);
+  EXPECT_FALSE(verify(sys, MonitorDfa::at_least_m_of_n(1, 8)).verified);
+}
+
+TEST(Verify, CounterexampleActuallyViolates) {
+  const auto sys = TransmissionSystem::arbitrated(4);
+  const auto req = MonitorDfa::max_consecutive_drops(2);
+  const auto result = verify(sys, req);
+  ASSERT_FALSE(result.verified);
+  EXPECT_FALSE(req.accepts(result.counterexample));
+}
+
+TEST(Verify, ProductStateCountGrowsWithWindow) {
+  const auto sys = TransmissionSystem::arbitrated(3);
+  const auto small = verify(sys, MonitorDfa::at_least_m_of_n(2, 6));
+  const auto large = verify(sys, MonitorDfa::at_least_m_of_n(2, 12));
+  // Same verdict machinery, exponentially more product states — the
+  // scalability challenge the paper highlights.
+  EXPECT_GT(large.product_states + large.transitions_explored,
+            4 * (small.product_states + small.transitions_explored));
+}
+
+TEST(Verify, DeterministicSystemSmallProduct) {
+  const auto sys = TransmissionSystem::time_triggered(10, 1);
+  const auto result = verify(sys, MonitorDfa::max_consecutive_drops(1));
+  EXPECT_TRUE(result.verified);
+  // Deterministic system: product reachable set is linear in the cycle.
+  EXPECT_LE(result.product_states, 10u * 3u);
+}
+
+}  // namespace
