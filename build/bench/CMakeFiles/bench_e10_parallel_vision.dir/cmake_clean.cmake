@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_parallel_vision.dir/bench_e10_parallel_vision.cpp.o"
+  "CMakeFiles/bench_e10_parallel_vision.dir/bench_e10_parallel_vision.cpp.o.d"
+  "bench_e10_parallel_vision"
+  "bench_e10_parallel_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_parallel_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

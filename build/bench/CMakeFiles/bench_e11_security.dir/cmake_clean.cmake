@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_security.dir/bench_e11_security.cpp.o"
+  "CMakeFiles/bench_e11_security.dir/bench_e11_security.cpp.o.d"
+  "bench_e11_security"
+  "bench_e11_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

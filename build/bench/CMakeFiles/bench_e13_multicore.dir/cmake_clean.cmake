@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_multicore.dir/bench_e13_multicore.cpp.o"
+  "CMakeFiles/bench_e13_multicore.dir/bench_e13_multicore.cpp.o.d"
+  "bench_e13_multicore"
+  "bench_e13_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_drive_by_wire.dir/bench_e15_drive_by_wire.cpp.o"
+  "CMakeFiles/bench_e15_drive_by_wire.dir/bench_e15_drive_by_wire.cpp.o.d"
+  "bench_e15_drive_by_wire"
+  "bench_e15_drive_by_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_drive_by_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

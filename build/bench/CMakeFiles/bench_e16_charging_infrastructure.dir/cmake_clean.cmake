@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_charging_infrastructure.dir/bench_e16_charging_infrastructure.cpp.o"
+  "CMakeFiles/bench_e16_charging_infrastructure.dir/bench_e16_charging_infrastructure.cpp.o.d"
+  "bench_e16_charging_infrastructure"
+  "bench_e16_charging_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_charging_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

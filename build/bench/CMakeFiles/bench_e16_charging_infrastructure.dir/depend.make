@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e16_charging_infrastructure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e1_network_architecture.cpp" "bench/CMakeFiles/bench_e1_network_architecture.dir/bench_e1_network_architecture.cpp.o" "gcc" "bench/CMakeFiles/bench_e1_network_architecture.dir/bench_e1_network_architecture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ev_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/ev_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/ev_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/verification/CMakeFiles/ev_verification.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/ev_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ev_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecu/CMakeFiles/ev_ecu.dir/DependInfo.cmake"
+  "/root/repo/build/src/powertrain/CMakeFiles/ev_powertrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/bms/CMakeFiles/ev_bms.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/ev_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/motor/CMakeFiles/ev_motor.dir/DependInfo.cmake"
+  "/root/repo/build/src/bywire/CMakeFiles/ev_bywire.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/ev_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_network_architecture.dir/bench_e1_network_architecture.cpp.o"
+  "CMakeFiles/bench_e1_network_architecture.dir/bench_e1_network_architecture.cpp.o.d"
+  "bench_e1_network_architecture"
+  "bench_e1_network_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_network_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_cell_balancing.dir/bench_e2_cell_balancing.cpp.o"
+  "CMakeFiles/bench_e2_cell_balancing.dir/bench_e2_cell_balancing.cpp.o.d"
+  "bench_e2_cell_balancing"
+  "bench_e2_cell_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_cell_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

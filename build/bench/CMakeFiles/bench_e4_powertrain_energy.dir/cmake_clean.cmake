@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_powertrain_energy.dir/bench_e4_powertrain_energy.cpp.o"
+  "CMakeFiles/bench_e4_powertrain_energy.dir/bench_e4_powertrain_energy.cpp.o.d"
+  "bench_e4_powertrain_energy"
+  "bench_e4_powertrain_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_powertrain_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

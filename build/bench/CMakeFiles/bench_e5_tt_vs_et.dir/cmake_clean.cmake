@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_tt_vs_et.dir/bench_e5_tt_vs_et.cpp.o"
+  "CMakeFiles/bench_e5_tt_vs_et.dir/bench_e5_tt_vs_et.cpp.o.d"
+  "bench_e5_tt_vs_et"
+  "bench_e5_tt_vs_et.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tt_vs_et.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

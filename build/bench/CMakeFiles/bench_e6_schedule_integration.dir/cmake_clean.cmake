@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_schedule_integration.dir/bench_e6_schedule_integration.cpp.o"
+  "CMakeFiles/bench_e6_schedule_integration.dir/bench_e6_schedule_integration.cpp.o.d"
+  "bench_e6_schedule_integration"
+  "bench_e6_schedule_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_schedule_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_protocol_bandwidth.dir/bench_e7_protocol_bandwidth.cpp.o"
+  "CMakeFiles/bench_e7_protocol_bandwidth.dir/bench_e7_protocol_bandwidth.cpp.o.d"
+  "bench_e7_protocol_bandwidth"
+  "bench_e7_protocol_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_protocol_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_consolidation.dir/bench_e8_consolidation.cpp.o"
+  "CMakeFiles/bench_e8_consolidation.dir/bench_e8_consolidation.cpp.o.d"
+  "bench_e8_consolidation"
+  "bench_e8_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

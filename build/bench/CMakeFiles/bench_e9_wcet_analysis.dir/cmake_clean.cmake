@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_wcet_analysis.dir/bench_e9_wcet_analysis.cpp.o"
+  "CMakeFiles/bench_e9_wcet_analysis.dir/bench_e9_wcet_analysis.cpp.o.d"
+  "bench_e9_wcet_analysis"
+  "bench_e9_wcet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_wcet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_commute.dir/city_commute.cpp.o"
+  "CMakeFiles/city_commute.dir/city_commute.cpp.o.d"
+  "city_commute"
+  "city_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

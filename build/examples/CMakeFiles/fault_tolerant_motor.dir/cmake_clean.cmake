@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_motor.dir/fault_tolerant_motor.cpp.o"
+  "CMakeFiles/fault_tolerant_motor.dir/fault_tolerant_motor.cpp.o.d"
+  "fault_tolerant_motor"
+  "fault_tolerant_motor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_motor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

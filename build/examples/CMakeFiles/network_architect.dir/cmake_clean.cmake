@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_architect.dir/network_architect.cpp.o"
+  "CMakeFiles/network_architect.dir/network_architect.cpp.o.d"
+  "network_architect"
+  "network_architect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_architect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_charging.dir/secure_charging.cpp.o"
+  "CMakeFiles/secure_charging.dir/secure_charging.cpp.o.d"
+  "secure_charging"
+  "secure_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

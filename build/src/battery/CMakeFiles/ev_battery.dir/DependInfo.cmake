@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/src/cell.cpp" "src/battery/CMakeFiles/ev_battery.dir/src/cell.cpp.o" "gcc" "src/battery/CMakeFiles/ev_battery.dir/src/cell.cpp.o.d"
+  "/root/repo/src/battery/src/module.cpp" "src/battery/CMakeFiles/ev_battery.dir/src/module.cpp.o" "gcc" "src/battery/CMakeFiles/ev_battery.dir/src/module.cpp.o.d"
+  "/root/repo/src/battery/src/ocv_curve.cpp" "src/battery/CMakeFiles/ev_battery.dir/src/ocv_curve.cpp.o" "gcc" "src/battery/CMakeFiles/ev_battery.dir/src/ocv_curve.cpp.o.d"
+  "/root/repo/src/battery/src/pack.cpp" "src/battery/CMakeFiles/ev_battery.dir/src/pack.cpp.o" "gcc" "src/battery/CMakeFiles/ev_battery.dir/src/pack.cpp.o.d"
+  "/root/repo/src/battery/src/sensors.cpp" "src/battery/CMakeFiles/ev_battery.dir/src/sensors.cpp.o" "gcc" "src/battery/CMakeFiles/ev_battery.dir/src/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_battery.dir/src/cell.cpp.o"
+  "CMakeFiles/ev_battery.dir/src/cell.cpp.o.d"
+  "CMakeFiles/ev_battery.dir/src/module.cpp.o"
+  "CMakeFiles/ev_battery.dir/src/module.cpp.o.d"
+  "CMakeFiles/ev_battery.dir/src/ocv_curve.cpp.o"
+  "CMakeFiles/ev_battery.dir/src/ocv_curve.cpp.o.d"
+  "CMakeFiles/ev_battery.dir/src/pack.cpp.o"
+  "CMakeFiles/ev_battery.dir/src/pack.cpp.o.d"
+  "CMakeFiles/ev_battery.dir/src/sensors.cpp.o"
+  "CMakeFiles/ev_battery.dir/src/sensors.cpp.o.d"
+  "libev_battery.a"
+  "libev_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bms/src/balancing.cpp" "src/bms/CMakeFiles/ev_bms.dir/src/balancing.cpp.o" "gcc" "src/bms/CMakeFiles/ev_bms.dir/src/balancing.cpp.o.d"
+  "/root/repo/src/bms/src/battery_manager.cpp" "src/bms/CMakeFiles/ev_bms.dir/src/battery_manager.cpp.o" "gcc" "src/bms/CMakeFiles/ev_bms.dir/src/battery_manager.cpp.o.d"
+  "/root/repo/src/bms/src/module_manager.cpp" "src/bms/CMakeFiles/ev_bms.dir/src/module_manager.cpp.o" "gcc" "src/bms/CMakeFiles/ev_bms.dir/src/module_manager.cpp.o.d"
+  "/root/repo/src/bms/src/safety.cpp" "src/bms/CMakeFiles/ev_bms.dir/src/safety.cpp.o" "gcc" "src/bms/CMakeFiles/ev_bms.dir/src/safety.cpp.o.d"
+  "/root/repo/src/bms/src/soc_estimator.cpp" "src/bms/CMakeFiles/ev_bms.dir/src/soc_estimator.cpp.o" "gcc" "src/bms/CMakeFiles/ev_bms.dir/src/soc_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/battery/CMakeFiles/ev_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_bms.dir/src/balancing.cpp.o"
+  "CMakeFiles/ev_bms.dir/src/balancing.cpp.o.d"
+  "CMakeFiles/ev_bms.dir/src/battery_manager.cpp.o"
+  "CMakeFiles/ev_bms.dir/src/battery_manager.cpp.o.d"
+  "CMakeFiles/ev_bms.dir/src/module_manager.cpp.o"
+  "CMakeFiles/ev_bms.dir/src/module_manager.cpp.o.d"
+  "CMakeFiles/ev_bms.dir/src/safety.cpp.o"
+  "CMakeFiles/ev_bms.dir/src/safety.cpp.o.d"
+  "CMakeFiles/ev_bms.dir/src/soc_estimator.cpp.o"
+  "CMakeFiles/ev_bms.dir/src/soc_estimator.cpp.o.d"
+  "libev_bms.a"
+  "libev_bms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_bms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ev_bms.
+# This may be replaced when dependencies are built.

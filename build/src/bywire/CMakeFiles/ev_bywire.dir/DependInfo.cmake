@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bywire/src/brake_system.cpp" "src/bywire/CMakeFiles/ev_bywire.dir/src/brake_system.cpp.o" "gcc" "src/bywire/CMakeFiles/ev_bywire.dir/src/brake_system.cpp.o.d"
+  "/root/repo/src/bywire/src/redundancy.cpp" "src/bywire/CMakeFiles/ev_bywire.dir/src/redundancy.cpp.o" "gcc" "src/bywire/CMakeFiles/ev_bywire.dir/src/redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_bywire.dir/src/brake_system.cpp.o"
+  "CMakeFiles/ev_bywire.dir/src/brake_system.cpp.o.d"
+  "CMakeFiles/ev_bywire.dir/src/redundancy.cpp.o"
+  "CMakeFiles/ev_bywire.dir/src/redundancy.cpp.o.d"
+  "libev_bywire.a"
+  "libev_bywire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_bywire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_core.dir/src/architecture.cpp.o"
+  "CMakeFiles/ev_core.dir/src/architecture.cpp.o.d"
+  "CMakeFiles/ev_core.dir/src/cosim.cpp.o"
+  "CMakeFiles/ev_core.dir/src/cosim.cpp.o.d"
+  "CMakeFiles/ev_core.dir/src/evaluation.cpp.o"
+  "CMakeFiles/ev_core.dir/src/evaluation.cpp.o.d"
+  "CMakeFiles/ev_core.dir/src/synthesis.cpp.o"
+  "CMakeFiles/ev_core.dir/src/synthesis.cpp.o.d"
+  "libev_core.a"
+  "libev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

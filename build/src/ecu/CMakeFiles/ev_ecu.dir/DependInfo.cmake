@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecu/src/fpga.cpp" "src/ecu/CMakeFiles/ev_ecu.dir/src/fpga.cpp.o" "gcc" "src/ecu/CMakeFiles/ev_ecu.dir/src/fpga.cpp.o.d"
+  "/root/repo/src/ecu/src/multicore.cpp" "src/ecu/CMakeFiles/ev_ecu.dir/src/multicore.cpp.o" "gcc" "src/ecu/CMakeFiles/ev_ecu.dir/src/multicore.cpp.o.d"
+  "/root/repo/src/ecu/src/vision.cpp" "src/ecu/CMakeFiles/ev_ecu.dir/src/vision.cpp.o" "gcc" "src/ecu/CMakeFiles/ev_ecu.dir/src/vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/ev_scheduling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

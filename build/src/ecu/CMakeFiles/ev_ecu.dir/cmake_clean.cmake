@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_ecu.dir/src/fpga.cpp.o"
+  "CMakeFiles/ev_ecu.dir/src/fpga.cpp.o.d"
+  "CMakeFiles/ev_ecu.dir/src/multicore.cpp.o"
+  "CMakeFiles/ev_ecu.dir/src/multicore.cpp.o.d"
+  "CMakeFiles/ev_ecu.dir/src/vision.cpp.o"
+  "CMakeFiles/ev_ecu.dir/src/vision.cpp.o.d"
+  "libev_ecu.a"
+  "libev_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

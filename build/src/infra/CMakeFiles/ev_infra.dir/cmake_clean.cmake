@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_infra.dir/src/charging_network.cpp.o"
+  "CMakeFiles/ev_infra.dir/src/charging_network.cpp.o.d"
+  "libev_infra.a"
+  "libev_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

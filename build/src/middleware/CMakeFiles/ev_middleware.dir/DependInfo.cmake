@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/src/middleware.cpp" "src/middleware/CMakeFiles/ev_middleware.dir/src/middleware.cpp.o" "gcc" "src/middleware/CMakeFiles/ev_middleware.dir/src/middleware.cpp.o.d"
+  "/root/repo/src/middleware/src/partition.cpp" "src/middleware/CMakeFiles/ev_middleware.dir/src/partition.cpp.o" "gcc" "src/middleware/CMakeFiles/ev_middleware.dir/src/partition.cpp.o.d"
+  "/root/repo/src/middleware/src/pubsub.cpp" "src/middleware/CMakeFiles/ev_middleware.dir/src/pubsub.cpp.o" "gcc" "src/middleware/CMakeFiles/ev_middleware.dir/src/pubsub.cpp.o.d"
+  "/root/repo/src/middleware/src/services.cpp" "src/middleware/CMakeFiles/ev_middleware.dir/src/services.cpp.o" "gcc" "src/middleware/CMakeFiles/ev_middleware.dir/src/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

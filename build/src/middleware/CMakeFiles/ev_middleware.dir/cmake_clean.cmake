@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_middleware.dir/src/middleware.cpp.o"
+  "CMakeFiles/ev_middleware.dir/src/middleware.cpp.o.d"
+  "CMakeFiles/ev_middleware.dir/src/partition.cpp.o"
+  "CMakeFiles/ev_middleware.dir/src/partition.cpp.o.d"
+  "CMakeFiles/ev_middleware.dir/src/pubsub.cpp.o"
+  "CMakeFiles/ev_middleware.dir/src/pubsub.cpp.o.d"
+  "CMakeFiles/ev_middleware.dir/src/services.cpp.o"
+  "CMakeFiles/ev_middleware.dir/src/services.cpp.o.d"
+  "libev_middleware.a"
+  "libev_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motor/src/drive.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/drive.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/drive.cpp.o.d"
+  "/root/repo/src/motor/src/fault.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/fault.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/fault.cpp.o.d"
+  "/root/repo/src/motor/src/foc.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/foc.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/foc.cpp.o.d"
+  "/root/repo/src/motor/src/inverter.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/inverter.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/inverter.cpp.o.d"
+  "/root/repo/src/motor/src/pmsm.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/pmsm.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/pmsm.cpp.o.d"
+  "/root/repo/src/motor/src/svm.cpp" "src/motor/CMakeFiles/ev_motor.dir/src/svm.cpp.o" "gcc" "src/motor/CMakeFiles/ev_motor.dir/src/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

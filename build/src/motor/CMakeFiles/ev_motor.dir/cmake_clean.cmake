@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_motor.dir/src/drive.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/drive.cpp.o.d"
+  "CMakeFiles/ev_motor.dir/src/fault.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/fault.cpp.o.d"
+  "CMakeFiles/ev_motor.dir/src/foc.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/foc.cpp.o.d"
+  "CMakeFiles/ev_motor.dir/src/inverter.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/inverter.cpp.o.d"
+  "CMakeFiles/ev_motor.dir/src/pmsm.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/pmsm.cpp.o.d"
+  "CMakeFiles/ev_motor.dir/src/svm.cpp.o"
+  "CMakeFiles/ev_motor.dir/src/svm.cpp.o.d"
+  "libev_motor.a"
+  "libev_motor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_motor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

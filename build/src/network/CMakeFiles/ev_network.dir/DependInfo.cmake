@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/src/bus.cpp" "src/network/CMakeFiles/ev_network.dir/src/bus.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/bus.cpp.o.d"
+  "/root/repo/src/network/src/can.cpp" "src/network/CMakeFiles/ev_network.dir/src/can.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/can.cpp.o.d"
+  "/root/repo/src/network/src/ethernet.cpp" "src/network/CMakeFiles/ev_network.dir/src/ethernet.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/ethernet.cpp.o.d"
+  "/root/repo/src/network/src/flexray.cpp" "src/network/CMakeFiles/ev_network.dir/src/flexray.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/flexray.cpp.o.d"
+  "/root/repo/src/network/src/gateway.cpp" "src/network/CMakeFiles/ev_network.dir/src/gateway.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/gateway.cpp.o.d"
+  "/root/repo/src/network/src/lin.cpp" "src/network/CMakeFiles/ev_network.dir/src/lin.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/lin.cpp.o.d"
+  "/root/repo/src/network/src/most.cpp" "src/network/CMakeFiles/ev_network.dir/src/most.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/most.cpp.o.d"
+  "/root/repo/src/network/src/ptp.cpp" "src/network/CMakeFiles/ev_network.dir/src/ptp.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/ptp.cpp.o.d"
+  "/root/repo/src/network/src/topology.cpp" "src/network/CMakeFiles/ev_network.dir/src/topology.cpp.o" "gcc" "src/network/CMakeFiles/ev_network.dir/src/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_network.dir/src/bus.cpp.o"
+  "CMakeFiles/ev_network.dir/src/bus.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/can.cpp.o"
+  "CMakeFiles/ev_network.dir/src/can.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/ethernet.cpp.o"
+  "CMakeFiles/ev_network.dir/src/ethernet.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/flexray.cpp.o"
+  "CMakeFiles/ev_network.dir/src/flexray.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/gateway.cpp.o"
+  "CMakeFiles/ev_network.dir/src/gateway.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/lin.cpp.o"
+  "CMakeFiles/ev_network.dir/src/lin.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/most.cpp.o"
+  "CMakeFiles/ev_network.dir/src/most.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/ptp.cpp.o"
+  "CMakeFiles/ev_network.dir/src/ptp.cpp.o.d"
+  "CMakeFiles/ev_network.dir/src/topology.cpp.o"
+  "CMakeFiles/ev_network.dir/src/topology.cpp.o.d"
+  "libev_network.a"
+  "libev_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

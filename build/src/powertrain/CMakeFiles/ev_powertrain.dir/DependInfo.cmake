@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powertrain/src/dcdc.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/dcdc.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/dcdc.cpp.o.d"
+  "/root/repo/src/powertrain/src/drive_cycle.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/drive_cycle.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/drive_cycle.cpp.o.d"
+  "/root/repo/src/powertrain/src/driver.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/driver.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/driver.cpp.o.d"
+  "/root/repo/src/powertrain/src/motor_map.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/motor_map.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/motor_map.cpp.o.d"
+  "/root/repo/src/powertrain/src/range.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/range.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/range.cpp.o.d"
+  "/root/repo/src/powertrain/src/regen.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/regen.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/regen.cpp.o.d"
+  "/root/repo/src/powertrain/src/simulation.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/simulation.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/simulation.cpp.o.d"
+  "/root/repo/src/powertrain/src/vehicle.cpp" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/vehicle.cpp.o" "gcc" "src/powertrain/CMakeFiles/ev_powertrain.dir/src/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/battery/CMakeFiles/ev_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/bms/CMakeFiles/ev_bms.dir/DependInfo.cmake"
+  "/root/repo/build/src/motor/CMakeFiles/ev_motor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

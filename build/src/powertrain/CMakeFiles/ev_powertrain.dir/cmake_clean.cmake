@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_powertrain.dir/src/dcdc.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/dcdc.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/drive_cycle.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/drive_cycle.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/driver.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/driver.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/motor_map.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/motor_map.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/range.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/range.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/regen.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/regen.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/simulation.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/simulation.cpp.o.d"
+  "CMakeFiles/ev_powertrain.dir/src/vehicle.cpp.o"
+  "CMakeFiles/ev_powertrain.dir/src/vehicle.cpp.o.d"
+  "libev_powertrain.a"
+  "libev_powertrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_powertrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

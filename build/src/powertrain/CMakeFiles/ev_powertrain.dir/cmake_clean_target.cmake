@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libev_powertrain.a"
+)

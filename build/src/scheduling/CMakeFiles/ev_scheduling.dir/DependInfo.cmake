@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/src/integration.cpp" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/integration.cpp.o" "gcc" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/integration.cpp.o.d"
+  "/root/repo/src/scheduling/src/response_time.cpp" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/response_time.cpp.o" "gcc" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/response_time.cpp.o.d"
+  "/root/repo/src/scheduling/src/synthesis.cpp" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/synthesis.cpp.o" "gcc" "src/scheduling/CMakeFiles/ev_scheduling.dir/src/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

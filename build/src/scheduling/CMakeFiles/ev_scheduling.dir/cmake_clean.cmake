@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_scheduling.dir/src/integration.cpp.o"
+  "CMakeFiles/ev_scheduling.dir/src/integration.cpp.o.d"
+  "CMakeFiles/ev_scheduling.dir/src/response_time.cpp.o"
+  "CMakeFiles/ev_scheduling.dir/src/response_time.cpp.o.d"
+  "CMakeFiles/ev_scheduling.dir/src/synthesis.cpp.o"
+  "CMakeFiles/ev_scheduling.dir/src/synthesis.cpp.o.d"
+  "libev_scheduling.a"
+  "libev_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

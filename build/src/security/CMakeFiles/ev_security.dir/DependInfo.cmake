@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/src/chacha20.cpp" "src/security/CMakeFiles/ev_security.dir/src/chacha20.cpp.o" "gcc" "src/security/CMakeFiles/ev_security.dir/src/chacha20.cpp.o.d"
+  "/root/repo/src/security/src/charging.cpp" "src/security/CMakeFiles/ev_security.dir/src/charging.cpp.o" "gcc" "src/security/CMakeFiles/ev_security.dir/src/charging.cpp.o.d"
+  "/root/repo/src/security/src/hmac.cpp" "src/security/CMakeFiles/ev_security.dir/src/hmac.cpp.o" "gcc" "src/security/CMakeFiles/ev_security.dir/src/hmac.cpp.o.d"
+  "/root/repo/src/security/src/secure_channel.cpp" "src/security/CMakeFiles/ev_security.dir/src/secure_channel.cpp.o" "gcc" "src/security/CMakeFiles/ev_security.dir/src/secure_channel.cpp.o.d"
+  "/root/repo/src/security/src/sha256.cpp" "src/security/CMakeFiles/ev_security.dir/src/sha256.cpp.o" "gcc" "src/security/CMakeFiles/ev_security.dir/src/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_security.dir/src/chacha20.cpp.o"
+  "CMakeFiles/ev_security.dir/src/chacha20.cpp.o.d"
+  "CMakeFiles/ev_security.dir/src/charging.cpp.o"
+  "CMakeFiles/ev_security.dir/src/charging.cpp.o.d"
+  "CMakeFiles/ev_security.dir/src/hmac.cpp.o"
+  "CMakeFiles/ev_security.dir/src/hmac.cpp.o.d"
+  "CMakeFiles/ev_security.dir/src/secure_channel.cpp.o"
+  "CMakeFiles/ev_security.dir/src/secure_channel.cpp.o.d"
+  "CMakeFiles/ev_security.dir/src/sha256.cpp.o"
+  "CMakeFiles/ev_security.dir/src/sha256.cpp.o.d"
+  "libev_security.a"
+  "libev_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

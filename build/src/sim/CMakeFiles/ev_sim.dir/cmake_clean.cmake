@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/ev_sim.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/ev_sim.dir/src/trace.cpp.o"
+  "CMakeFiles/ev_sim.dir/src/trace.cpp.o.d"
+  "libev_sim.a"
+  "libev_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

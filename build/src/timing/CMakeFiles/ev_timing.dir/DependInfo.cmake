@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/src/abstract_cache.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/abstract_cache.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/abstract_cache.cpp.o.d"
+  "/root/repo/src/timing/src/cache.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/cache.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/cache.cpp.o.d"
+  "/root/repo/src/timing/src/collecting.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/collecting.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/collecting.cpp.o.d"
+  "/root/repo/src/timing/src/program.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/program.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/program.cpp.o.d"
+  "/root/repo/src/timing/src/spm.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/spm.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/spm.cpp.o.d"
+  "/root/repo/src/timing/src/wcet.cpp" "src/timing/CMakeFiles/ev_timing.dir/src/wcet.cpp.o" "gcc" "src/timing/CMakeFiles/ev_timing.dir/src/wcet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_timing.dir/src/abstract_cache.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/abstract_cache.cpp.o.d"
+  "CMakeFiles/ev_timing.dir/src/cache.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/cache.cpp.o.d"
+  "CMakeFiles/ev_timing.dir/src/collecting.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/collecting.cpp.o.d"
+  "CMakeFiles/ev_timing.dir/src/program.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/program.cpp.o.d"
+  "CMakeFiles/ev_timing.dir/src/spm.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/spm.cpp.o.d"
+  "CMakeFiles/ev_timing.dir/src/wcet.cpp.o"
+  "CMakeFiles/ev_timing.dir/src/wcet.cpp.o.d"
+  "libev_timing.a"
+  "libev_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

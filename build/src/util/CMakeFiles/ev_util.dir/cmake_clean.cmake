@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_util.dir/src/crc.cpp.o"
+  "CMakeFiles/ev_util.dir/src/crc.cpp.o.d"
+  "CMakeFiles/ev_util.dir/src/logging.cpp.o"
+  "CMakeFiles/ev_util.dir/src/logging.cpp.o.d"
+  "CMakeFiles/ev_util.dir/src/stats.cpp.o"
+  "CMakeFiles/ev_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/ev_util.dir/src/table.cpp.o"
+  "CMakeFiles/ev_util.dir/src/table.cpp.o.d"
+  "libev_util.a"
+  "libev_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verification/src/automaton.cpp" "src/verification/CMakeFiles/ev_verification.dir/src/automaton.cpp.o" "gcc" "src/verification/CMakeFiles/ev_verification.dir/src/automaton.cpp.o.d"
+  "/root/repo/src/verification/src/model_checker.cpp" "src/verification/CMakeFiles/ev_verification.dir/src/model_checker.cpp.o" "gcc" "src/verification/CMakeFiles/ev_verification.dir/src/model_checker.cpp.o.d"
+  "/root/repo/src/verification/src/system_model.cpp" "src/verification/CMakeFiles/ev_verification.dir/src/system_model.cpp.o" "gcc" "src/verification/CMakeFiles/ev_verification.dir/src/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

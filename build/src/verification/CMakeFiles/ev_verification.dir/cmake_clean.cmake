@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ev_verification.dir/src/automaton.cpp.o"
+  "CMakeFiles/ev_verification.dir/src/automaton.cpp.o.d"
+  "CMakeFiles/ev_verification.dir/src/model_checker.cpp.o"
+  "CMakeFiles/ev_verification.dir/src/model_checker.cpp.o.d"
+  "CMakeFiles/ev_verification.dir/src/system_model.cpp.o"
+  "CMakeFiles/ev_verification.dir/src/system_model.cpp.o.d"
+  "libev_verification.a"
+  "libev_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ev_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_test.dir/bms_test.cpp.o"
+  "CMakeFiles/bms_test.dir/bms_test.cpp.o.d"
+  "bms_test"
+  "bms_test.pdb"
+  "bms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bywire_test.dir/bywire_test.cpp.o"
+  "CMakeFiles/bywire_test.dir/bywire_test.cpp.o.d"
+  "bywire_test"
+  "bywire_test.pdb"
+  "bywire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bywire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motor_test.dir/motor_test.cpp.o"
+  "CMakeFiles/motor_test.dir/motor_test.cpp.o.d"
+  "motor_test"
+  "motor_test.pdb"
+  "motor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

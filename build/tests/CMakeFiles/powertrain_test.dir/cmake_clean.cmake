@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powertrain_test.dir/powertrain_test.cpp.o"
+  "CMakeFiles/powertrain_test.dir/powertrain_test.cpp.o.d"
+  "powertrain_test"
+  "powertrain_test.pdb"
+  "powertrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powertrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_test.dir/verification_test.cpp.o"
+  "CMakeFiles/verification_test.dir/verification_test.cpp.o.d"
+  "verification_test"
+  "verification_test.pdb"
+  "verification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
