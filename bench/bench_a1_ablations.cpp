@@ -95,6 +95,7 @@ void ablation_cbs_slope() {
                         {"idle slope", "class-A goodput", "best-effort goodput"});
   for (double slope : {0.10, 0.30, 0.50, 0.75}) {
     Simulator sim;
+    evbench::observe(sim);
     ev::network::EthernetSwitch sw(sim, "eth", 2);
     sw.attach(1, 0);
     sw.add_route(0x1, ev::network::EthRoute{{1}, ev::network::EthClass::kAvbClassA});
@@ -124,6 +125,7 @@ void ablation_cbs_slope() {
       }
     });
     sim.run_until(Time::ms(500));
+    evbench::set_gauge("a1.cbs.class_a_mbit_s", class_a_bytes * 8.0 / 0.5 / 1e6);
     table.add_row({ev::util::fmt_pct(slope),
                    ev::util::fmt(class_a_bytes * 8.0 / 0.5 / 1e6, 1) + " Mbit/s",
                    ev::util::fmt(be_bytes * 8.0 / 0.5 / 1e6, 1) + " Mbit/s"});
@@ -140,6 +142,7 @@ void ablation_gate_window() {
                         {"TT window", "TT mean latency", "best-effort goodput"});
   for (double window_us : {50.0, 100.0, 200.0, 400.0}) {
     Simulator sim;
+    evbench::observe(sim);
     ev::network::EthernetSwitch sw(sim, "eth", 2);
     sw.attach(1, 0);
     sw.add_route(0x1, ev::network::EthRoute{{1}, ev::network::EthClass::kTimeTriggered});
@@ -235,5 +238,5 @@ BENCHMARK(bm_observer_update);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("a1_ablations", argc, argv);
 }

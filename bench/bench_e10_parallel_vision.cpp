@@ -63,6 +63,10 @@ void run_experiment() {
     // thread spawn ~50 us on this host).
     constexpr double kDispatchMsPerWorker = 0.05;
     const double model8_ms = scalar_ms / 8.0 + 8 * kDispatchMsPerWorker;
+    // Overwritten per size; the snapshot keeps the 1280x720 frame. The
+    // wall-clock columns stay out of the gauges (non-deterministic).
+    evbench::set_gauge("e10.windows", static_cast<double>(windows));
+    evbench::set_gauge("e10.detections", static_cast<double>(out.size()));
     table.add_row({std::to_string(s.w) + "x" + std::to_string(s.h),
                    std::to_string(windows), ev::util::fmt(scalar_ms, 2),
                    ev::util::fmt(p4_ms, 2), ev::util::fmt(p8_ms, 2),
@@ -103,5 +107,5 @@ BENCHMARK(bm_parallel8)->Arg(160)->Arg(640)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e10_parallel_vision", argc, argv);
 }

@@ -58,6 +58,7 @@ void run_experiment() {
       MitmAttacker::Attack::kNone, MitmAttacker::Attack::kInflateBilling,
       MitmAttacker::Attack::kInjectV2g, MitmAttacker::Attack::kReplayMeter};
   const char* names[] = {"none", "inflate billing", "inject V2G", "replay meter"};
+  int defended = 0;
   for (bool auth : {false, true}) {
     for (int a = 0; a < 4; ++a) {
       MitmAttacker attacker(attacks[a]);
@@ -67,6 +68,7 @@ void run_experiment() {
           run_charging_session(credential, cfg, attacker, 11.0, 1800.0, rng);
       const bool fraud = out.billed_kwh > out.delivered_kwh + 1e-9 ||
                          out.accepted_v2g_commands > 0;
+      if (auth && !fraud) ++defended;
       matrix.add_row({names[a], auth ? "challenge-response + MAC" : "none",
                       ev::util::fmt(out.billed_kwh, 3) + " / " +
                           ev::util::fmt(out.delivered_kwh, 3) + " kWh",
@@ -76,6 +78,8 @@ void run_experiment() {
     }
   }
   matrix.print();
+  evbench::set_gauge("e11.authenticated.defended_attacks",
+                     static_cast<double>(defended));
   std::puts("expected shape: every armed attack succeeds without authentication "
             "and is rejected with it; CAN cannot even carry the protected "
             "frames while Ethernet absorbs the overhead.\n");
@@ -111,5 +115,5 @@ BENCHMARK(bm_secure_channel_roundtrip);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e11_security", argc, argv);
 }

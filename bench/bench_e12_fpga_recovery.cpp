@@ -42,6 +42,10 @@ void run_experiment() {
         RecoveryStrategy::kEcuFailover, RecoveryStrategy::kDualHardware}) {
     ev::util::Rng rng(123);  // identical fault trace for every strategy
     const RecoveryReport r = simulate_mission(cfg, s, mission_s, rng);
+    if (s == RecoveryStrategy::kPartialReconfiguration) {
+      evbench::set_gauge("e12.partial_reconfig.availability", r.availability);
+      evbench::set_gauge("e12.partial_reconfig.downtime_s", r.downtime_s);
+    }
     mission.add_row({to_string(s), std::to_string(r.faults),
                      ev::util::fmt(r.downtime_s, 2) + " s",
                      ev::util::fmt(r.system_downtime_s, 2) + " s",
@@ -69,5 +73,5 @@ BENCHMARK(bm_mission_simulation);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e12_fpga_recovery", argc, argv);
 }

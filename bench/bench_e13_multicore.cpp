@@ -52,6 +52,8 @@ void run_experiment() {
     const std::size_t mid = capacity_with(0.08);
     const std::size_t high = capacity_with(0.25);
     if (cores == 1) base_8 = mid;
+    if (cores == 8)
+      evbench::set_gauge("e13.capacity.8core_8pct", static_cast<double>(mid));
     table.add_row({std::to_string(cores), std::to_string(none), std::to_string(mid),
                    std::to_string(high),
                    ev::util::fmt(static_cast<double>(mid) / static_cast<double>(base_8), 2) + "x"});
@@ -83,6 +85,9 @@ void run_experiment() {
       ++ecu_count;
     }
     (void)placed_total;
+    // Overwritten per core count; the snapshot keeps the 8-core value.
+    evbench::set_gauge("e13.reference_net.ecus_needed",
+                       static_cast<double>(ecu_count));
     ecus.add_row({std::to_string(cores), std::to_string(ecu_count)});
   }
   ecus.print();
@@ -104,5 +109,5 @@ BENCHMARK(bm_placement)->Arg(64)->Arg(256);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e13_multicore", argc, argv);
 }

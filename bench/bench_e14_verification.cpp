@@ -37,14 +37,17 @@ void run_experiment() {
       {TransmissionSystem::arbitrated(2), MonitorDfa::at_least_m_of_n(4, 8)},
       {TransmissionSystem::unbounded_drops(), MonitorDfa::max_consecutive_drops(4)},
   };
+  int verified = 0;
   for (const Case& c : cases) {
     const VerificationResult r = verify(c.system, c.requirement);
+    if (r.verified) ++verified;
     matrix.add_row({c.system.description(), c.requirement.description(),
                     r.verified ? "VERIFIED" : "violated",
                     r.verified ? "-" : std::to_string(r.counterexample.size()) + " slots",
                     std::to_string(r.product_states)});
   }
   matrix.print();
+  evbench::set_gauge("e14.matrix.verified_cases", static_cast<double>(verified));
 
   ev::util::Table scaling("checking effort vs requirement window (arbitrated system, "
                           "burst 3)",
@@ -57,6 +60,8 @@ void run_experiment() {
     const VerificationResult r = verify(sys, req);
     const double us =
         std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    // Overwritten per window; the snapshot keeps the largest (n = 18).
+    evbench::set_gauge("e14.product_states", static_cast<double>(r.product_states));
     scaling.add_row({std::to_string(n), std::to_string(req.state_count()),
                      std::to_string(r.product_states),
                      std::to_string(r.transitions_explored),
@@ -82,5 +87,5 @@ BENCHMARK(bm_verify_window)->Arg(8)->Arg(16)->Arg(20);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e14_verification", argc, argv);
 }

@@ -107,6 +107,12 @@ void monte_carlo_table() {
       else
         ++clean;
     }
+    if (d.diverse && d.replicas == 3) {
+      evbench::set_gauge("e15.triplex_diverse.dangerous_missions",
+                         static_cast<double>(dangerous));
+      evbench::set_gauge("e15.triplex_diverse.clean_missions",
+                         static_cast<double>(clean));
+    }
     auto pct = [&](int n) { return ev::util::fmt_pct(n / double(kMissions)); };
     table.add_row({d.name, pct(dangerous), pct(detected), pct(clean)});
   }
@@ -145,5 +151,5 @@ BENCHMARK(bm_brake_mission)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e15_drive_by_wire", argc, argv);
 }

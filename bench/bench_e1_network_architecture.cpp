@@ -21,7 +21,9 @@ void run_experiment() {
   std::puts("E1 — Fig. 1 heterogeneous in-vehicle network (30 s simulated)\n");
 
   Simulator sim;
+  evbench::observe(sim);
   Figure1Network net(sim);
+  for (Bus* bus : net.buses()) bus->attach_observer(evbench::metrics());
   net.start();
   sim.run_until(Time::s(30));
 
@@ -47,6 +49,10 @@ void run_experiment() {
   flows.print();
   std::printf("gateway: %zu frames forwarded, %zu dropped\n\n",
               net.gateway().forwarded_count(), net.gateway().dropped_count());
+  evbench::set_gauge("e1.gateway.forwarded",
+                     static_cast<double>(net.gateway().forwarded_count()));
+  evbench::set_gauge("e1.gateway.dropped",
+                     static_cast<double>(net.gateway().dropped_count()));
 
   // Load sweep: utilization and worst flow latency vs message-rate scale.
   ev::util::Table sweep("load sweep (message rate scale)",
@@ -85,5 +91,5 @@ BENCHMARK(bm_figure1_simulation)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e1_network_architecture", argc, argv);
 }

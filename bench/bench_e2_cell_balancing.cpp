@@ -84,6 +84,10 @@ void run_experiment() {
       mean.usable_wh += o.usable_wh / runs;
       mean.min_soc += o.min_soc / runs;
     }
+    if (kind == BalancingKind::kActive) {
+      evbench::set_gauge("e2.active.usable_wh", mean.usable_wh);
+      evbench::set_gauge("e2.active.hours_to_balance", mean.hours_to_balance);
+    }
     const char* name = kind == BalancingKind::kNone
                            ? "none"
                            : (kind == BalancingKind::kPassive ? "passive" : "active");
@@ -120,5 +124,5 @@ BENCHMARK(bm_bms_step)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e2_cell_balancing", argc, argv);
 }

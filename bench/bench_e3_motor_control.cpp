@@ -107,6 +107,8 @@ void run_experiment() {
               "(command 200.0)\n",
               drive.detection_latency_s().value_or(-1) * 1e3,
               drive.machine().speed_rad_s());
+  evbench::set_gauge("e3.recovered.thd", recovered.thd);
+  evbench::set_gauge("e3.recovered.torque_ripple", recovered.torque_ripple);
   std::puts("expected shape: fault massively distorts current/torque; the "
             "reconfigured drive restores near-sinusoidal operation at reduced "
             "dc-link utilization.\n");
@@ -133,5 +135,5 @@ BENCHMARK(bm_svm_modulate);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e3_motor_control", argc, argv);
 }

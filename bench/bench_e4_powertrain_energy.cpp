@@ -78,6 +78,8 @@ void run_experiment() {
   // --- DC-DC conversion losses (the 12 V rail of Fig. 4) ---------------------
   PowertrainSimulation sim(make_config(true));
   const CycleResult r = sim.run_cycle(DriveCycle::urban());
+  evbench::set_gauge("e4.urban.consumption_wh_km", r.consumption_wh_km);
+  evbench::set_gauge("e4.urban.regen_recovered_wh", r.regen_recovered_wh);
   std::printf("12 V auxiliary rail over urban cycle: %.0f Wh drawn from HV "
               "(load %.0f W through the DC-DC converter)\n\n",
               r.aux_energy_wh, sim.config().aux_power_w);
@@ -102,5 +104,5 @@ BENCHMARK(bm_urban_cycle)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e4_powertrain_energy", argc, argv);
 }

@@ -86,6 +86,11 @@ void run_experiment() {
                    std::to_string(mono.search_steps), ev::util::fmt(mono_ms, 2),
                    std::to_string(modular.search_steps), ev::util::fmt(mod_ms, 2),
                    (mono.feasible && modular.feasible) ? "yes" : "NO"});
+    // Overwritten each size; the snapshot keeps the largest system (n = 48).
+    evbench::set_gauge("e6.monolithic.search_steps",
+                       static_cast<double>(mono.search_steps));
+    evbench::set_gauge("e6.modular.search_steps",
+                       static_cast<double>(modular.search_steps));
   }
   table.print();
   std::puts("expected shape: monolithic search effort grows superlinearly with "
@@ -112,5 +117,5 @@ BENCHMARK(bm_modular)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e6_schedule_integration", argc, argv);
 }

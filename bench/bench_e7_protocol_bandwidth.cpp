@@ -26,8 +26,9 @@ struct Goodput {
   double mean_latency_ms = 0.0;
 };
 
-Goodput saturate_can() {
+Goodput saturate_can(bool observed = false) {
   Simulator sim;
+  if (observed) evbench::observe(sim);
   CanBus bus(sim, "can", 500e3);
   bus.subscribe([](const Frame&, Time) {});
   // Offer more than the bus can carry; keep the queue primed.
@@ -44,8 +45,9 @@ Goodput saturate_can() {
                  bus.latency().mean() * 1e3};
 }
 
-Goodput saturate_flexray() {
+Goodput saturate_flexray(bool observed = false) {
   Simulator sim;
+  if (observed) evbench::observe(sim);
   FlexRayConfig cfg;
   // All 16 static slots in use, 32-byte payloads.
   cfg.static_payload_bytes = 32;
@@ -67,8 +69,9 @@ Goodput saturate_flexray() {
                  bus.latency().mean() * 1e3};
 }
 
-Goodput saturate_ethernet() {
+Goodput saturate_ethernet(bool observed = false) {
   Simulator sim;
+  if (observed) evbench::observe(sim);
   EthernetSwitch sw(sim, "eth", 2);
   sw.attach(1, 0);
   sw.add_route(0x1, EthRoute{{1}, EthClass::kBestEffort});
@@ -93,19 +96,22 @@ void run_experiment() {
   ev::util::Table table("achievable goodput",
                         {"bus", "nominal rate", "measured goodput", "efficiency",
                          "mean frame latency"});
-  const Goodput can = saturate_can();
+  const Goodput can = saturate_can(/*observed=*/true);
   table.add_row({"CAN", "0.5 Mbit/s", ev::util::fmt(can.mbit_s, 3) + " Mbit/s",
                  ev::util::fmt_pct(can.mbit_s / 0.5),
                  ev::util::fmt(can.mean_latency_ms, 3) + " ms"});
-  const Goodput fr = saturate_flexray();
+  const Goodput fr = saturate_flexray(/*observed=*/true);
   table.add_row({"FlexRay", "10 Mbit/s", ev::util::fmt(fr.mbit_s, 3) + " Mbit/s",
                  ev::util::fmt_pct(fr.mbit_s / 10.0),
                  ev::util::fmt(fr.mean_latency_ms, 3) + " ms"});
-  const Goodput eth = saturate_ethernet();
+  const Goodput eth = saturate_ethernet(/*observed=*/true);
   table.add_row({"Ethernet", "100 Mbit/s", ev::util::fmt(eth.mbit_s, 3) + " Mbit/s",
                  ev::util::fmt_pct(eth.mbit_s / 100.0),
                  ev::util::fmt(eth.mean_latency_ms, 3) + " ms"});
   table.print();
+  evbench::set_gauge("e7.can.goodput_mbit_s", can.mbit_s);
+  evbench::set_gauge("e7.flexray.goodput_mbit_s", fr.mbit_s);
+  evbench::set_gauge("e7.ethernet.goodput_mbit_s", eth.mbit_s);
 
   ev::util::Table eff("per-frame protocol efficiency (payload bits / wire bits)",
                       {"payload bytes", "CAN", "FlexRay", "Ethernet"});
@@ -132,5 +138,5 @@ BENCHMARK(bm_ethernet_saturation)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e7_protocol_bandwidth", argc, argv);
 }

@@ -47,6 +47,9 @@ void run_experiment() {
                ev::util::fmt_pct(integ.worst_bus_load, 2), "-"});
   cmp.print();
 
+  evbench::set_gauge("e8.federated.ecus", static_cast<double>(fed.ecu_count));
+  evbench::set_gauge("e8.integrated.ecus", static_cast<double>(integ.ecu_count));
+
   ev::util::Table sweep("scaling: ECU count vs functional content",
                         {"functions", "federated ECUs", "integrated ECUs",
                          "integrated cost saving"});
@@ -89,5 +92,5 @@ BENCHMARK(bm_evaluate);
 
 int main(int argc, char** argv) {
   run_experiment();
-  return evbench::run_registered_benchmarks(argc, argv);
+  return evbench::finish("e8_consolidation", argc, argv);
 }

@@ -1,14 +1,26 @@
 /// \file harness.h
-/// Shared scaffolding for the experiment binaries: after printing the
-/// experiment tables, each binary runs its registered google-benchmark
-/// microbenchmarks with a short default measuring time (override with the
-/// usual --benchmark_* flags).
+/// Shared scaffolding for the experiment binaries. Each binary prints its
+/// experiment tables, exports the observability snapshot accumulated while
+/// doing so (BENCH_<experiment>.json — event counts, dispatch-latency stats,
+/// subsystem gauges; plus a Chrome-trace file when spans were recorded), and
+/// then runs its registered google-benchmark microbenchmarks with a short
+/// default measuring time (override with the usual --benchmark_* flags).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "ev/obs/export.h"
+#include "ev/obs/metrics.h"
+#include "ev/obs/sim_observer.h"
+#include "ev/obs/span_trace.h"
+#include "ev/sim/simulator.h"
 
 namespace evbench {
 
@@ -30,6 +42,65 @@ inline int run_registered_benchmarks(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+/// The binary's metric registry. Everything recorded here before finish()
+/// lands in the exported snapshot.
+inline ev::obs::MetricsRegistry& metrics() {
+  static ev::obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// The binary's span sink (exported as a Chrome trace when non-empty).
+inline ev::obs::TraceLog& trace() {
+  static ev::obs::TraceLog log;
+  return log;
+}
+
+/// The shared simulator observer feeding metrics().
+inline ev::obs::SimObserver& sim_observer() {
+  static ev::obs::SimObserver observer(metrics());
+  return observer;
+}
+
+/// Attaches the shared observer to \p sim: its event count, dispatch-delay
+/// distribution, and queue-depth peak then accumulate into metrics().
+inline void observe(ev::sim::Simulator& sim) { sim.set_observer(&sim_observer()); }
+
+/// Records the experiment-specific gauge \p name = \p value.
+inline void set_gauge(std::string_view name, double value) {
+  metrics().set(metrics().gauge(name), value);
+}
+
+/// Exports the metrics snapshot to BENCH_<experiment>.json (and the span
+/// trace to BENCH_<experiment>.trace.json when spans were recorded).
+/// EVSYS_BENCH_METRICS_DIR relocates the files; EVSYS_BENCH_METRICS=0
+/// disables emission. Returns false when disabled or the write failed.
+inline bool export_metrics(const std::string& experiment) {
+  const char* enabled = std::getenv("EVSYS_BENCH_METRICS");
+  if (enabled != nullptr && std::string_view(enabled) == "0") return false;
+  const char* dir = std::getenv("EVSYS_BENCH_METRICS_DIR");
+  const std::string base =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+      "BENCH_" + experiment;
+  const bool ok = ev::obs::write_metrics_json_file(metrics(), base + ".json");
+  if (ok)
+    std::printf("[obs] metrics snapshot: %s.json\n", base.c_str());
+  else
+    std::fprintf(stderr, "[obs] could not write %s.json\n", base.c_str());
+  if (!trace().spans().empty() &&
+      ev::obs::write_chrome_trace_file(trace(), base + ".trace.json"))
+    std::printf("[obs] chrome trace: %s.trace.json\n", base.c_str());
+  return ok;
+}
+
+/// Standard experiment epilogue: export the observability snapshot captured
+/// by run_experiment(), then run the microbenchmarks. Exporting first keeps
+/// the snapshot deterministic — benchmark iteration counts never feed it.
+inline int finish(const std::string& experiment, int argc, char** argv) {
+  (void)sim_observer();  // every snapshot carries the standard sim.* metrics
+  export_metrics(experiment);
+  return run_registered_benchmarks(argc, argv);
 }
 
 }  // namespace evbench

@@ -8,6 +8,9 @@
 #include <cstdio>
 
 #include "ev/core/cosim.h"
+#include "ev/obs/export.h"
+#include "ev/obs/metrics.h"
+#include "ev/obs/sim_observer.h"
 #include "ev/powertrain/drive_cycle.h"
 #include "ev/util/table.h"
 
@@ -20,6 +23,15 @@ int main() {
   config.powertrain.seed = 7;
 
   VehicleSystem vehicle(config);
+
+  // Observe the whole stack: kernel dispatch, every bus, and the cockpit
+  // middleware all report into one registry.
+  ev::obs::MetricsRegistry metrics;
+  ev::obs::SimObserver kernel_observer(metrics);
+  vehicle.simulator().set_observer(&kernel_observer);
+  for (auto* bus : vehicle.network().buses()) bus->attach_observer(metrics);
+  vehicle.cockpit().attach_observer(metrics);
+
   const DriveCycle commute = DriveCycle::repeat(DriveCycle::urban(), 2);
   std::printf("Commuting %.1f km of stop-and-go under co-simulation...\n\n",
               commute.ideal_distance_m() / 1000.0);
@@ -56,5 +68,11 @@ int main() {
                 static_cast<unsigned long long>(part.jobs_completed()),
                 static_cast<unsigned long long>(part.fault_count()));
   }
+
+  std::printf("\nKernel dispatched %llu events for the whole commute.\n",
+              static_cast<unsigned long long>(metrics.counter_value(
+                  metrics.counter("sim.events_dispatched"))));
+  if (ev::obs::write_metrics_json_file(metrics, "city_commute.json"))
+    std::printf("Full observability snapshot: city_commute.json\n");
   return 0;
 }

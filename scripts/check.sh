@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and test the default (Release) configuration
+# and an ASan+UBSan configuration. Run from anywhere inside the repository.
+#
+#   $ scripts/check.sh            # both configurations
+#   $ scripts/check.sh release    # Release only
+#   $ scripts/check.sh sanitize   # ASan+UBSan only
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+what=${1:-all}
+
+run_config() {
+  local name=$1 build_dir=$2
+  shift 2
+  echo "==> [$name] configure"
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  echo "==> [$name] build"
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==> [$name] ctest"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+case "$what" in
+  release|all)
+    run_config release "$repo_root/build" -DCMAKE_BUILD_TYPE=Release
+    ;;&
+  sanitize|all)
+    run_config sanitize "$repo_root/build-asan" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEVSYS_SANITIZE=ON
+    ;;&
+  release|sanitize|all) ;;
+  *)
+    echo "usage: $0 [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> all checks passed"

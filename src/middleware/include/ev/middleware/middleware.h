@@ -14,6 +14,8 @@
 #include "ev/middleware/partition.h"
 #include "ev/middleware/pubsub.h"
 #include "ev/middleware/services.h"
+#include "ev/obs/metrics.h"
+#include "ev/obs/span_trace.h"
 #include "ev/sim/simulator.h"
 
 namespace ev::middleware {
@@ -62,8 +64,28 @@ class Middleware {
   /// ECU name.
   [[nodiscard]] const std::string& ecu_name() const noexcept { return name_; }
 
+  /// Attaches observability under the prefix `mw.<ecu_name>`. Per major
+  /// frame the dispatcher then maintains:
+  ///  - counter `mw.<ecu>.frames` and gauge `mw.<ecu>.slack_us`
+  ///  - per partition: gauge `mw.<ecu>.<part>.budget_util` (window time
+  ///    consumed / window length) and gauge `mw.<ecu>.<part>.jobs_completed`
+  ///  - the broker's pub/sub metrics (see PubSubBroker::attach_observer),
+  ///    with delivery latency attributed at each window-boundary flush
+  /// When \p trace is given, every executed partition window is recorded as
+  /// a span (category "partition") carrying its budget utilization.
+  /// Partitions created after attachment are instrumented as well. All ids
+  /// are interned here — the dispatch hot path never allocates.
+  void attach_observer(obs::MetricsRegistry& registry, obs::TraceLog* trace = nullptr);
+
  private:
+  struct PartitionMetrics {
+    obs::MetricId budget_util = obs::kInvalidId;
+    obs::MetricId jobs_completed = obs::kInvalidId;
+    obs::MetricId span_name = obs::kInvalidId;  // TraceLog interner id
+  };
+
   void run_frame();
+  void register_partition_metrics(std::size_t index);
 
   sim::Simulator* sim_;
   std::string name_;
@@ -74,6 +96,13 @@ class Middleware {
   ServiceRegistry registry_;
   std::uint64_t frames_ = 0;
   bool started_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+  obs::MetricId frames_metric_ = obs::kInvalidId;
+  obs::MetricId slack_metric_ = obs::kInvalidId;
+  obs::MetricId span_category_ = obs::kInvalidId;  // TraceLog interner id
+  obs::MetricId util_attr_key_ = obs::kInvalidId;  // TraceLog interner id
+  std::vector<PartitionMetrics> partition_metrics_;
 };
 
 }  // namespace ev::middleware

@@ -4,13 +4,22 @@
 /// (end of each partition window), so communication timing is independent
 /// of *where* a subscriber runs — the location transparency that lets
 /// software tasks "be distributed in a more flexible way".
+///
+/// Applications use the typed Topic<T> wrapper; the raw byte-oriented broker
+/// API remains for gateways and generic tooling that forward opaque samples.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
+
+#include "ev/obs/metrics.h"
 
 namespace ev::middleware {
 
@@ -36,26 +45,97 @@ class PubSubBroker {
   void publish(TopicId topic, std::vector<std::uint8_t> data, std::int64_t now_us);
 
   /// Delivers all buffered samples in publication order. Called by the
-  /// dispatcher at deterministic schedule points.
+  /// dispatcher at deterministic schedule points. The \p now_us overload
+  /// additionally attributes per-sample delivery latency (now - published)
+  /// to the attached observer.
   void flush();
+  void flush(std::int64_t now_us);
 
   /// Samples delivered so far.
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   /// Samples currently buffered.
   [[nodiscard]] std::size_t backlog() const noexcept { return pending_.size(); }
 
-  /// Helpers to move doubles through the byte-oriented plane.
-  [[nodiscard]] static std::vector<std::uint8_t> encode_double(double value);
-  [[nodiscard]] static double decode_double(const Sample& sample);
+  /// Attaches observability. Registers (under \p prefix, e.g. "mw.ecu0"):
+  ///  - counter   `<prefix>.pubsub.delivered`
+  ///  - histogram `<prefix>.pubsub.delivery_latency_us`
+  ///  - gauge     `<prefix>.pubsub.backlog.peak`
+  /// \p registry must outlive the broker's use; ids are interned here so the
+  /// publish/flush hot paths stay allocation-free.
+  void attach_observer(obs::MetricsRegistry& registry, std::string_view prefix);
 
  private:
   struct Pending {
     TopicId topic;
     Sample sample;
   };
+  void flush_impl(bool timed, std::int64_t now_us);
+
   std::map<TopicId, std::vector<SampleHandler>> subscribers_;
   std::vector<Pending> pending_;
   std::uint64_t delivered_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId delivered_metric_ = obs::kInvalidId;
+  obs::MetricId latency_us_metric_ = obs::kInvalidId;
+  obs::MetricId backlog_peak_metric_ = obs::kInvalidId;
+};
+
+/// Typed view of one broker topic. T must be trivially copyable (POD-style:
+/// the bytes on the wire *are* the object representation), which keeps the
+/// plane deterministic and allocation-predictable — no serialization code,
+/// no pointers smuggled through the middleware.
+template <typename T>
+class Topic {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Topic<T> payloads must be trivially copyable (POD)");
+  static_assert(!std::is_pointer_v<T>,
+                "Topic<T> must not carry pointers across partitions");
+
+ public:
+  /// Binds topic \p id on \p broker (which must outlive the Topic).
+  Topic(PubSubBroker& broker, TopicId id) noexcept : broker_(&broker), id_(id) {}
+
+  /// Publishes \p value at time \p now_us; delivered at the next flush.
+  void publish(const T& value, std::int64_t now_us) {
+    broker_->publish(id_, encode(value), now_us);
+  }
+
+  /// Subscribes \p handler, callable as either handler(const T&) or
+  /// handler(const T&, const Sample&) when the publication metadata
+  /// (timestamp) is needed.
+  template <typename F>
+  void subscribe(F handler) {
+    broker_->subscribe(id_, [h = std::move(handler)](const Sample& s) mutable {
+      if constexpr (std::is_invocable_v<F&, const T&, const Sample&>)
+        h(decode(s), s);
+      else
+        h(decode(s));
+    });
+  }
+
+  /// The wire form of \p value.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const T& value) {
+    std::vector<std::uint8_t> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    return bytes;
+  }
+
+  /// Reconstructs a value; throws std::invalid_argument on a size mismatch
+  /// (subscribing the wrong type to a topic).
+  [[nodiscard]] static T decode(const Sample& sample) {
+    if (sample.data.size() != sizeof(T))
+      throw std::invalid_argument("Topic: sample size does not match payload type");
+    T value;
+    std::memcpy(&value, sample.data.data(), sizeof(T));
+    return value;
+  }
+
+  [[nodiscard]] TopicId id() const noexcept { return id_; }
+  [[nodiscard]] PubSubBroker& broker() noexcept { return *broker_; }
+
+ private:
+  PubSubBroker* broker_;
+  TopicId id_;
 };
 
 }  // namespace ev::middleware

@@ -25,7 +25,34 @@ std::size_t Middleware::create_partition(std::string name, std::int64_t budget_u
   for (const FrameWindow& w : windows_) offset += w.duration_us;
   partitions_.push_back(std::make_unique<Partition>(std::move(name), budget_us, criticality));
   windows_.push_back(FrameWindow{partitions_.size() - 1, offset, budget_us});
+  if (metrics_) register_partition_metrics(partitions_.size() - 1);
   return partitions_.size() - 1;
+}
+
+void Middleware::attach_observer(obs::MetricsRegistry& registry, obs::TraceLog* trace) {
+  metrics_ = &registry;
+  trace_ = trace;
+  const std::string base = "mw." + name_ + ".";
+  frames_metric_ = registry.counter(base + "frames");
+  slack_metric_ = registry.gauge(base + "slack_us");
+  registry.set(slack_metric_, static_cast<double>(slack_us()));
+  broker_.attach_observer(registry, "mw." + name_);
+  if (trace_) {
+    span_category_ = trace_->intern("partition");
+    util_attr_key_ = trace_->intern("budget_util");
+  }
+  partition_metrics_.clear();
+  for (std::size_t i = 0; i < partitions_.size(); ++i) register_partition_metrics(i);
+}
+
+void Middleware::register_partition_metrics(std::size_t index) {
+  const std::string base = "mw." + name_ + "." + partitions_[index]->name() + ".";
+  PartitionMetrics pm;
+  pm.budget_util = metrics_->gauge(base + "budget_util");
+  pm.jobs_completed = metrics_->gauge(base + "jobs_completed");
+  if (trace_) pm.span_name = trace_->intern(partitions_[index]->name());
+  partition_metrics_.push_back(pm);
+  metrics_->set(slack_metric_, static_cast<double>(slack_us()));
 }
 
 void Middleware::deploy(std::size_t index, Runnable runnable) {
@@ -45,12 +72,29 @@ void Middleware::run_frame() {
                                           : 0;
   for (const FrameWindow& w : windows_) {
     Partition& p = *partitions_[w.partition_index];
-    (void)p.execute_window(frame_start_us + w.offset_us, w.duration_us);
+    const std::int64_t window_start_us = frame_start_us + w.offset_us;
+    const std::int64_t consumed_us = p.execute_window(window_start_us, w.duration_us);
+    if (metrics_) {
+      const PartitionMetrics& pm = partition_metrics_[w.partition_index];
+      const double util = w.duration_us > 0
+                              ? static_cast<double>(consumed_us) /
+                                    static_cast<double>(w.duration_us)
+                              : 0.0;
+      metrics_->set(pm.budget_util, util);
+      metrics_->set(pm.jobs_completed, static_cast<double>(p.jobs_completed()));
+      if (trace_ && consumed_us > 0) {
+        const obs::SpanId span =
+            trace_->complete(pm.span_name, span_category_, window_start_us * 1000,
+                             (window_start_us + consumed_us) * 1000);
+        trace_->attr(span, util_attr_key_, util);
+      }
+    }
     // Deterministic communication point: publications of this window become
     // visible before the next window starts.
-    broker_.flush();
+    broker_.flush(frame_start_us + w.offset_us + w.duration_us);
   }
   ++frames_;
+  if (metrics_) metrics_->add(frames_metric_);
 }
 
 }  // namespace ev::middleware

@@ -1,6 +1,5 @@
 #include "ev/middleware/pubsub.h"
 
-#include <cstring>
 #include <stdexcept>
 
 namespace ev::middleware {
@@ -13,9 +12,15 @@ void PubSubBroker::subscribe(TopicId topic, SampleHandler handler) {
 void PubSubBroker::publish(TopicId topic, std::vector<std::uint8_t> data,
                            std::int64_t now_us) {
   pending_.push_back(Pending{topic, Sample{std::move(data), now_us}});
+  if (metrics_)
+    metrics_->set_max(backlog_peak_metric_, static_cast<double>(pending_.size()));
 }
 
-void PubSubBroker::flush() {
+void PubSubBroker::flush() { flush_impl(/*timed=*/false, 0); }
+
+void PubSubBroker::flush(std::int64_t now_us) { flush_impl(/*timed=*/true, now_us); }
+
+void PubSubBroker::flush_impl(bool timed, std::int64_t now_us) {
   // Deliveries may trigger further publications; those wait for the next
   // flush point (keeps delivery timing deterministic).
   std::vector<Pending> batch;
@@ -26,22 +31,23 @@ void PubSubBroker::flush() {
     for (const auto& handler : it->second) {
       handler(p.sample);
       ++delivered_;
+      if (metrics_) {
+        metrics_->add(delivered_metric_);
+        if (timed)
+          metrics_->observe(latency_us_metric_,
+                            static_cast<double>(now_us - p.sample.published_us));
+      }
     }
   }
 }
 
-std::vector<std::uint8_t> PubSubBroker::encode_double(double value) {
-  std::vector<std::uint8_t> out(sizeof(double));
-  std::memcpy(out.data(), &value, sizeof(double));
-  return out;
-}
-
-double PubSubBroker::decode_double(const Sample& sample) {
-  if (sample.data.size() < sizeof(double))
-    throw std::invalid_argument("decode_double: sample too small");
-  double v = 0.0;
-  std::memcpy(&v, sample.data.data(), sizeof(double));
-  return v;
+void PubSubBroker::attach_observer(obs::MetricsRegistry& registry,
+                                   std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".pubsub.";
+  metrics_ = &registry;
+  delivered_metric_ = registry.counter(base + "delivered");
+  latency_us_metric_ = registry.histogram(base + "delivery_latency_us", 0.0, 1e6, 64);
+  backlog_peak_metric_ = registry.gauge(base + "backlog.peak");
 }
 
 }  // namespace ev::middleware

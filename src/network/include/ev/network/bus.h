@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ev/network/frame.h"
+#include "ev/obs/metrics.h"
 #include "ev/sim/simulator.h"
 #include "ev/util/stats.h"
 
@@ -49,6 +50,16 @@ class Bus {
     return delivered_bytes_;
   }
 
+  /// Attaches observability. Registers (under the bus name):
+  ///  - counter   `net.<name>.frames` — frames delivered
+  ///  - counter   `net.<name>.payload_bytes` — goodput
+  ///  - histogram `net.<name>.frame_latency_us` — queue-to-delivery latency
+  ///  - gauge     `net.<name>.utilization` — busy fraction, updated on every
+  ///    delivery (bus-load gauge)
+  /// Ids are interned here; delivery stays allocation-free. \p registry must
+  /// outlive the bus's use of it.
+  void attach_observer(obs::MetricsRegistry& registry);
+
  protected:
   /// Transmission time of \p bits at the nominal rate.
   [[nodiscard]] sim::Time tx_time(std::size_t bits) const noexcept;
@@ -71,6 +82,11 @@ class Bus {
   std::size_t delivered_bytes_ = 0;
   util::SampleSeries latency_s_;
   std::uint64_t seq_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId frames_metric_ = obs::kInvalidId;
+  obs::MetricId bytes_metric_ = obs::kInvalidId;
+  obs::MetricId latency_metric_ = obs::kInvalidId;
+  obs::MetricId utilization_metric_ = obs::kInvalidId;
 };
 
 }  // namespace ev::network

@@ -22,8 +22,24 @@ double Bus::utilization() const noexcept {
 void Bus::deliver(const Frame& frame) {
   ++delivered_;
   delivered_bytes_ += frame.payload_size;
-  latency_s_.add((sim_->now() - frame.created).to_seconds());
+  const sim::Time latency = sim_->now() - frame.created;
+  latency_s_.add(latency.to_seconds());
+  if (metrics_) {
+    metrics_->add(frames_metric_);
+    metrics_->add(bytes_metric_, frame.payload_size);
+    metrics_->observe(latency_metric_, latency.to_us());
+    metrics_->set(utilization_metric_, utilization());
+  }
   for (const auto& r : receivers_) r(frame, sim_->now());
+}
+
+void Bus::attach_observer(obs::MetricsRegistry& registry) {
+  const std::string base = "net." + name_ + ".";
+  metrics_ = &registry;
+  frames_metric_ = registry.counter(base + "frames");
+  bytes_metric_ = registry.counter(base + "payload_bytes");
+  latency_metric_ = registry.histogram(base + "frame_latency_us", 0.0, 1e5, 64);
+  utilization_metric_ = registry.gauge(base + "utilization");
 }
 
 }  // namespace ev::network

@@ -1,0 +1,60 @@
+/// \file metric_id.h
+/// Cheap interned identifiers for the observability layer. Instrument names
+/// (metric names, span names, attribute keys) are registered once, up front,
+/// and referred to afterwards by a dense integer id — so the hot paths of the
+/// simulator, middleware, and bus models never touch a string or allocate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev::obs {
+
+/// Dense id of an interned name. Ids are indices into the owning interner's
+/// table, assigned in registration order starting at 0.
+using MetricId = std::uint32_t;
+
+/// Sentinel returned where no id applies (unset span attribute, full sink).
+inline constexpr MetricId kInvalidId = 0xffff'ffffu;
+
+/// String-to-dense-id table. Interning the same name twice returns the same
+/// id; lookups by id are O(1). Registration is the cold path and may
+/// allocate; everything downstream carries only the id.
+class Interner {
+ public:
+  /// Returns the id of \p name, registering it on first use.
+  MetricId intern(std::string_view name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const MetricId id = static_cast<MetricId>(names_.size());
+    const auto inserted = index_.emplace(std::string(name), id);
+    names_.push_back(&inserted.first->first);
+    return id;
+  }
+
+  /// Name of \p id; throws std::out_of_range for unknown ids.
+  [[nodiscard]] const std::string& name(MetricId id) const {
+    if (id >= names_.size()) throw std::out_of_range("Interner: unknown id");
+    return *names_[id];
+  }
+
+  /// True when \p name has been interned already.
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  /// Number of interned names.
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  // Heterogeneous lookup avoids a temporary std::string per intern() probe;
+  // map nodes give the stable addresses names_ points into.
+  std::map<std::string, MetricId, std::less<>> index_;
+  std::vector<const std::string*> names_;
+};
+
+}  // namespace ev::obs

@@ -1,0 +1,89 @@
+/// \file metrics.h
+/// The metric plane of the observability layer: counters, gauges, and
+/// bounded-memory histograms in one registry. Registration (cold) hands out
+/// interned MetricIds; updates (hot) are branch-plus-array-index and never
+/// allocate, so instrumented simulator/middleware/bus paths stay cheap and
+/// deterministic. All values derive from simulation state, never wall-clock,
+/// which keeps exported snapshots byte-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ev/obs/metric_id.h"
+#include "ev/util/stats.h"
+
+namespace ev::obs {
+
+/// What a registered metric measures.
+enum class MetricKind : std::uint8_t {
+  kCounter,    ///< Monotonic event count (frames delivered, events fired).
+  kGauge,      ///< Last-written scalar (utilization, backlog, budget use).
+  kHistogram,  ///< Value distribution with fixed bins + streaming stats.
+};
+
+/// Registry of named metrics. Ids are stable for the registry's lifetime and
+/// shared across kinds (one id space); re-registering a name returns the
+/// existing id and must use the same kind.
+class MetricsRegistry {
+ public:
+  /// Registers (or finds) the counter \p name.
+  MetricId counter(std::string_view name);
+  /// Registers (or finds) the gauge \p name.
+  MetricId gauge(std::string_view name);
+  /// Registers (or finds) a histogram over [lo, hi) with \p bins buckets;
+  /// out-of-range observations clamp to the boundary buckets (bounded
+  /// memory regardless of the observed range).
+  MetricId histogram(std::string_view name, double lo, double hi,
+                     std::size_t bins = 32);
+
+  // --- hot-path updates (no-ops on kInvalidId or a kind mismatch) ----------
+  /// counter += delta.
+  void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  /// gauge = value.
+  void set(MetricId id, double value) noexcept;
+  /// gauge = max(gauge, value) — peak tracking (queue depth, backlog).
+  void set_max(MetricId id, double value) noexcept;
+  /// Adds one observation to a histogram.
+  void observe(MetricId id, double value) noexcept;
+
+  // --- readout -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t counter_value(MetricId id) const;
+  [[nodiscard]] double gauge_value(MetricId id) const;
+  /// Streaming mean/min/max/stddev over everything observe()d.
+  [[nodiscard]] const util::RunningStats& histogram_stats(MetricId id) const;
+  /// The binned distribution.
+  [[nodiscard]] const util::Histogram& histogram_bins(MetricId id) const;
+
+  /// Number of registered metrics; ids are 0..size()-1 in registration order.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::string& name(MetricId id) const { return names_.name(id); }
+  [[nodiscard]] MetricKind kind(MetricId id) const;
+  /// True when \p name is already registered (any kind).
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return names_.contains(name);
+  }
+
+ private:
+  struct HistogramData {
+    util::Histogram bins;
+    util::RunningStats stats;
+  };
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t count = 0;             // kCounter
+    double gauge = 0.0;                  // kGauge
+    std::uint32_t histogram_index = 0;   // kHistogram -> histograms_
+  };
+
+  MetricId register_metric(std::string_view name, MetricKind kind);
+  [[nodiscard]] const Entry& checked(MetricId id, MetricKind kind) const;
+
+  Interner names_;
+  std::vector<Entry> entries_;
+  std::vector<HistogramData> histograms_;
+};
+
+}  // namespace ev::obs

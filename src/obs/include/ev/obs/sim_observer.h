@@ -1,0 +1,54 @@
+/// \file sim_observer.h
+/// Standard kernel instrumentation: an ev::sim::Simulator::Observer that
+/// feeds a MetricsRegistry. Attached once per simulator it answers the
+/// cross-cutting questions benches used to answer with ad-hoc counters: how
+/// many events ran, how long they sat in the queue (sim time), how deep the
+/// queue grew, and which source scheduled them (via EventTag attribution).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ev/obs/metrics.h"
+#include "ev/sim/simulator.h"
+
+namespace ev::obs {
+
+/// Records simulator activity into a MetricsRegistry. All metric ids are
+/// interned at construction, so the callbacks are allocation-free.
+///
+/// Registered metrics:
+///  - counter   `sim.events_scheduled`
+///  - counter   `sim.events_dispatched`
+///  - counter   `sim.events_cancelled`
+///  - histogram `sim.dispatch_delay_us` — sim-time lag between an event's
+///    enqueue and its dispatch (the scheduling horizon of the workload)
+///  - gauge     `sim.queue_depth.peak`
+class SimObserver final : public sim::Simulator::Observer {
+ public:
+  /// \p registry must outlive the observer's attachment.
+  explicit SimObserver(MetricsRegistry& registry);
+
+  /// Registers (or finds) the per-source counter `sim.dispatched.<name>` and
+  /// returns its id as an EventTag for the schedule_* tag parameter; every
+  /// dispatch carrying the tag increments the counter.
+  [[nodiscard]] sim::EventTag source(std::string_view name);
+
+  void on_scheduled(sim::EventId id, sim::Time at, sim::Time now,
+                    std::size_t pending) noexcept override;
+  void on_dispatched(sim::EventId id, sim::Time at, sim::Time enqueued_at,
+                     std::size_t pending, sim::EventTag tag) noexcept override;
+  void on_cancelled(sim::EventId id, std::size_t pending) noexcept override;
+
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+  MetricId scheduled_;
+  MetricId dispatched_;
+  MetricId cancelled_;
+  MetricId delay_us_;
+  MetricId depth_peak_;
+};
+
+}  // namespace ev::obs

@@ -1,0 +1,172 @@
+#include "ev/obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace ev::obs {
+
+namespace {
+
+/// JSON/CSV-safe rendering of an interned name (quotes, backslashes, and
+/// control characters escaped; names are plain identifiers in practice).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_histogram_json(const MetricsRegistry& reg, MetricId id, std::ostream& out) {
+  const util::RunningStats& st = reg.histogram_stats(id);
+  const util::Histogram& bins = reg.histogram_bins(id);
+  out << "{\"count\":" << st.count() << ",\"mean\":" << format_double(st.mean())
+      << ",\"stddev\":" << format_double(st.stddev())
+      << ",\"min\":" << format_double(st.min()) << ",\"max\":" << format_double(st.max())
+      << ",\"sum\":" << format_double(st.sum()) << ",\"bins\":[";
+  for (std::size_t i = 0; i < bins.bins(); ++i) {
+    if (i) out << ',';
+    out << bins.bin_count(i);
+  }
+  out << "]}";
+}
+
+std::vector<MetricId> ids_of_kind(const MetricsRegistry& reg, MetricKind kind) {
+  std::vector<MetricId> ids;
+  for (MetricId id = 0; id < reg.size(); ++id)
+    if (reg.kind(id) == kind) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  // Shortest decimal form that parses back to the same double: deterministic
+  // output without the noise of a fixed 17-digit rendering.
+  char buf[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+void write_metrics_json(const MetricsRegistry& reg, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const MetricId id : ids_of_kind(reg, MetricKind::kCounter)) {
+    out << (first ? "" : ",") << "\n    \"" << escape(reg.name(id))
+        << "\": " << reg.counter_value(id);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const MetricId id : ids_of_kind(reg, MetricKind::kGauge)) {
+    out << (first ? "" : ",") << "\n    \"" << escape(reg.name(id))
+        << "\": " << format_double(reg.gauge_value(id));
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const MetricId id : ids_of_kind(reg, MetricKind::kHistogram)) {
+    out << (first ? "" : ",") << "\n    \"" << escape(reg.name(id)) << "\": ";
+    write_histogram_json(reg, id, out);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_metrics_csv(const MetricsRegistry& reg, std::ostream& out) {
+  out << "kind,name,field,value\n";
+  for (MetricId id = 0; id < reg.size(); ++id) {
+    const std::string name = escape(reg.name(id));
+    switch (reg.kind(id)) {
+      case MetricKind::kCounter:
+        out << "counter," << name << ",value," << reg.counter_value(id) << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << "gauge," << name << ",value," << format_double(reg.gauge_value(id))
+            << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const util::RunningStats& st = reg.histogram_stats(id);
+        out << "histogram," << name << ",count," << st.count() << '\n';
+        out << "histogram," << name << ",mean," << format_double(st.mean()) << '\n';
+        out << "histogram," << name << ",stddev," << format_double(st.stddev()) << '\n';
+        out << "histogram," << name << ",min," << format_double(st.min()) << '\n';
+        out << "histogram," << name << ",max," << format_double(st.max()) << '\n';
+        out << "histogram," << name << ",sum," << format_double(st.sum()) << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void write_chrome_trace(const TraceLog& trace, std::ostream& out) {
+  out << "[\n";
+  bool first = true;
+  for (const Span& s : trace.spans()) {
+    if (s.end_ns < s.begin_ns) continue;  // open span: no complete event
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << escape(trace.names().name(s.name)) << "\",\"cat\":\""
+        << escape(trace.names().name(s.category))
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+        << format_double(static_cast<double>(s.begin_ns) * 1e-3)
+        << ",\"dur\":" << format_double(static_cast<double>(s.end_ns - s.begin_ns) * 1e-3);
+    if (s.attr_count > 0) {
+      out << ",\"args\":{";
+      for (std::uint8_t i = 0; i < s.attr_count; ++i) {
+        if (i) out << ',';
+        out << '"' << escape(trace.names().name(s.attrs[i].key))
+            << "\":" << format_double(s.attrs[i].value);
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n]\n";
+}
+
+namespace {
+template <typename Writer, typename Source>
+bool write_file(const Source& source, const std::string& path, Writer writer) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  writer(source, out);
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool write_metrics_json_file(const MetricsRegistry& reg, const std::string& path) {
+  return write_file(reg, path, [](const MetricsRegistry& r, std::ostream& o) {
+    write_metrics_json(r, o);
+  });
+}
+
+bool write_metrics_csv_file(const MetricsRegistry& reg, const std::string& path) {
+  return write_file(reg, path, [](const MetricsRegistry& r, std::ostream& o) {
+    write_metrics_csv(r, o);
+  });
+}
+
+bool write_chrome_trace_file(const TraceLog& trace, const std::string& path) {
+  return write_file(trace, path, [](const TraceLog& t, std::ostream& o) {
+    write_chrome_trace(t, o);
+  });
+}
+
+}  // namespace ev::obs

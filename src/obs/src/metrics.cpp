@@ -1,0 +1,91 @@
+#include "ev/obs/metrics.h"
+
+#include <stdexcept>
+
+namespace ev::obs {
+
+MetricId MetricsRegistry::register_metric(std::string_view name, MetricKind kind) {
+  if (names_.contains(name)) {
+    const MetricId id = names_.intern(name);
+    if (entries_[id].kind != kind)
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' already registered with another kind");
+    return id;
+  }
+  const MetricId id = names_.intern(name);
+  entries_.push_back(Entry{kind, 0, 0.0, 0});
+  return id;
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return register_metric(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return register_metric(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                    std::size_t bins) {
+  const bool existed = names_.contains(name);
+  const MetricId id = register_metric(name, MetricKind::kHistogram);
+  if (!existed) {
+    entries_[id].histogram_index = static_cast<std::uint32_t>(histograms_.size());
+    histograms_.push_back(HistogramData{util::Histogram(lo, hi, bins), {}});
+  }
+  return id;
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) noexcept {
+  if (id >= entries_.size() || entries_[id].kind != MetricKind::kCounter) return;
+  entries_[id].count += delta;
+}
+
+void MetricsRegistry::set(MetricId id, double value) noexcept {
+  if (id >= entries_.size() || entries_[id].kind != MetricKind::kGauge) return;
+  entries_[id].gauge = value;
+}
+
+void MetricsRegistry::set_max(MetricId id, double value) noexcept {
+  if (id >= entries_.size() || entries_[id].kind != MetricKind::kGauge) return;
+  if (value > entries_[id].gauge) entries_[id].gauge = value;
+}
+
+void MetricsRegistry::observe(MetricId id, double value) noexcept {
+  if (id >= entries_.size() || entries_[id].kind != MetricKind::kHistogram) return;
+  HistogramData& h = histograms_[entries_[id].histogram_index];
+  h.bins.add(value);
+  h.stats.add(value);
+}
+
+const MetricsRegistry::Entry& MetricsRegistry::checked(MetricId id,
+                                                       MetricKind kind) const {
+  if (id >= entries_.size()) throw std::out_of_range("MetricsRegistry: unknown id");
+  if (entries_[id].kind != kind)
+    throw std::invalid_argument("MetricsRegistry: kind mismatch for '" +
+                                names_.name(id) + "'");
+  return entries_[id];
+}
+
+std::uint64_t MetricsRegistry::counter_value(MetricId id) const {
+  return checked(id, MetricKind::kCounter).count;
+}
+
+double MetricsRegistry::gauge_value(MetricId id) const {
+  return checked(id, MetricKind::kGauge).gauge;
+}
+
+const util::RunningStats& MetricsRegistry::histogram_stats(MetricId id) const {
+  return histograms_[checked(id, MetricKind::kHistogram).histogram_index].stats;
+}
+
+const util::Histogram& MetricsRegistry::histogram_bins(MetricId id) const {
+  return histograms_[checked(id, MetricKind::kHistogram).histogram_index].bins;
+}
+
+MetricKind MetricsRegistry::kind(MetricId id) const {
+  if (id >= entries_.size()) throw std::out_of_range("MetricsRegistry: unknown id");
+  return entries_[id].kind;
+}
+
+}  // namespace ev::obs

@@ -1,0 +1,36 @@
+#include "ev/obs/sim_observer.h"
+
+#include <string>
+
+namespace ev::obs {
+
+SimObserver::SimObserver(MetricsRegistry& registry)
+    : registry_(&registry),
+      scheduled_(registry.counter("sim.events_scheduled")),
+      dispatched_(registry.counter("sim.events_dispatched")),
+      cancelled_(registry.counter("sim.events_cancelled")),
+      delay_us_(registry.histogram("sim.dispatch_delay_us", 0.0, 1e6, 64)),
+      depth_peak_(registry.gauge("sim.queue_depth.peak")) {}
+
+sim::EventTag SimObserver::source(std::string_view name) {
+  return registry_->counter("sim.dispatched." + std::string(name));
+}
+
+void SimObserver::on_scheduled(sim::EventId, sim::Time, sim::Time,
+                               std::size_t pending) noexcept {
+  registry_->add(scheduled_);
+  registry_->set_max(depth_peak_, static_cast<double>(pending));
+}
+
+void SimObserver::on_dispatched(sim::EventId, sim::Time at, sim::Time enqueued_at,
+                                std::size_t, sim::EventTag tag) noexcept {
+  registry_->add(dispatched_);
+  registry_->observe(delay_us_, (at - enqueued_at).to_us());
+  if (tag != sim::kUntagged) registry_->add(tag);
+}
+
+void SimObserver::on_cancelled(sim::EventId, std::size_t) noexcept {
+  registry_->add(cancelled_);
+}
+
+}  // namespace ev::obs

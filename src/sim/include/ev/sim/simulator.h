@@ -16,14 +16,59 @@
 
 namespace ev::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Valid ids are
+/// non-zero; kNoEvent never names a live event.
 using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// Attribution tag for scheduled events. The simulator stores and forwards
+/// the tag to its observer untouched; by convention instrumented subsystems
+/// pass an obs::MetricsRegistry counter id so dispatches can be attributed
+/// per source without any lookup. kUntagged means "no attribution".
+using EventTag = std::uint32_t;
+inline constexpr EventTag kUntagged = 0xffff'ffffu;
+
+/// Selects the delay-relative schedule_periodic() overload: the first firing
+/// happens \p delay after the current time. Prefer this over computing
+/// `now() + delay` at the call site — an absolute first-activation time
+/// written as a plain duration silently becomes a phase error once the
+/// caller no longer runs at t=0.
+struct After {
+  Time delay;
+};
 
 /// Single-threaded discrete-event simulator with deterministic FIFO tie
 /// breaking: events at equal timestamps fire in scheduling order.
+///
+/// Scheduling API contract (uniform across all schedule_* functions):
+///  - every function returns a fresh non-zero EventId usable with cancel();
+///  - activation times must not lie in the past (throws std::invalid_argument);
+///  - one-shot events release their handler after dispatch, periodic events
+///    repeat until cancel() (which removes all future repetitions);
+///  - handlers may schedule and cancel freely, including their own id.
 class Simulator {
  public:
   using Handler = std::function<void()>;
+
+  /// Observation hook. The kernel itself stays dependency-free: this
+  /// interface is implemented by ev::obs (SimObserver) or by tests. All
+  /// callbacks carry simulation-time quantities only, so anything derived
+  /// from them is deterministic across same-seed runs. Callbacks must not
+  /// mutate the simulator.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    /// An event was enqueued at time \p now to fire at \p at.
+    virtual void on_scheduled(EventId id, Time at, Time now,
+                              std::size_t pending) noexcept = 0;
+    /// An event fired at \p at after waiting since \p enqueued_at.
+    /// \p pending counts live events after this dispatch; \p tag is the
+    /// scheduling call's attribution tag.
+    virtual void on_dispatched(EventId id, Time at, Time enqueued_at,
+                               std::size_t pending, EventTag tag) noexcept = 0;
+    /// A live event was cancelled.
+    virtual void on_cancelled(EventId id, std::size_t pending) noexcept = 0;
+  };
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -32,16 +77,20 @@ class Simulator {
   /// Current simulation time. Starts at zero.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedules \p handler to fire at absolute time \p at (>= now()).
-  /// Returns an id usable with cancel().
-  EventId schedule_at(Time at, Handler handler);
+  /// Schedules \p handler to fire once at absolute time \p at (>= now()).
+  EventId schedule_at(Time at, Handler handler, EventTag tag = kUntagged);
 
-  /// Schedules \p handler to fire \p delay after the current time.
-  EventId schedule_in(Time delay, Handler handler);
+  /// Schedules \p handler to fire once \p delay after the current time.
+  EventId schedule_in(Time delay, Handler handler, EventTag tag = kUntagged);
 
-  /// Schedules \p handler every \p period starting at absolute time \p first;
-  /// repeats until cancelled (cancel removes all future repetitions).
-  EventId schedule_periodic(Time first, Time period, Handler handler);
+  /// Schedules \p handler every \p period starting at absolute time \p first.
+  EventId schedule_periodic(Time first, Time period, Handler handler,
+                            EventTag tag = kUntagged);
+
+  /// Schedules \p handler every \p period, first firing start.delay after the
+  /// current time (delay-relative twin of the absolute-time overload).
+  EventId schedule_periodic(After start, Time period, Handler handler,
+                            EventTag tag = kUntagged);
 
   /// Cancels a pending (or periodic) event. Returns true if the id was alive.
   bool cancel(EventId id);
@@ -59,6 +108,14 @@ class Simulator {
   /// Number of live events currently pending.
   [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
 
+  /// Total events dispatched since construction.
+  [[nodiscard]] std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+  /// Attaches \p observer (nullptr detaches). The observer must outlive its
+  /// attachment; when detached the kernel hot path pays one untaken branch.
+  void set_observer(Observer* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] Observer* observer() const noexcept { return observer_; }
+
  private:
   struct Scheduled {
     Time at;
@@ -74,14 +131,18 @@ class Simulator {
   struct Entry {
     Handler handler;
     Time period{};
+    Time enqueued{};  // when the current activation was queued (observer lag)
+    EventTag tag = kUntagged;
     bool periodic = false;
   };
 
-  EventId enqueue(Time at, Handler handler, bool periodic, Time period);
+  EventId enqueue(Time at, Handler handler, bool periodic, Time period, EventTag tag);
 
   Time now_{};
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  Observer* observer_ = nullptr;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
   std::unordered_map<EventId, Entry> live_;
 };

@@ -20,28 +20,42 @@ std::string Time::to_string() const {
   return out.str();
 }
 
-EventId Simulator::enqueue(Time at, Handler handler, bool periodic, Time period) {
+EventId Simulator::enqueue(Time at, Handler handler, bool periodic, Time period,
+                           EventTag tag) {
   if (at < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
   const EventId id = next_id_++;
   queue_.push(Scheduled{at, next_seq_++, id});
-  live_.emplace(id, Entry{std::move(handler), period, periodic});
+  live_.emplace(id, Entry{std::move(handler), period, now_, tag, periodic});
+  if (observer_) [[unlikely]]
+    observer_->on_scheduled(id, at, now_, live_.size());
   return id;
 }
 
-EventId Simulator::schedule_at(Time at, Handler handler) {
-  return enqueue(at, std::move(handler), /*periodic=*/false, Time{});
+EventId Simulator::schedule_at(Time at, Handler handler, EventTag tag) {
+  return enqueue(at, std::move(handler), /*periodic=*/false, Time{}, tag);
 }
 
-EventId Simulator::schedule_in(Time delay, Handler handler) {
-  return enqueue(now_ + delay, std::move(handler), /*periodic=*/false, Time{});
+EventId Simulator::schedule_in(Time delay, Handler handler, EventTag tag) {
+  return enqueue(now_ + delay, std::move(handler), /*periodic=*/false, Time{}, tag);
 }
 
-EventId Simulator::schedule_periodic(Time first, Time period, Handler handler) {
+EventId Simulator::schedule_periodic(Time first, Time period, Handler handler,
+                                     EventTag tag) {
   if (period <= Time{}) throw std::invalid_argument("Simulator: period must be positive");
-  return enqueue(first, std::move(handler), /*periodic=*/true, period);
+  return enqueue(first, std::move(handler), /*periodic=*/true, period, tag);
 }
 
-bool Simulator::cancel(EventId id) { return live_.erase(id) != 0; }
+EventId Simulator::schedule_periodic(After start, Time period, Handler handler,
+                                     EventTag tag) {
+  return schedule_periodic(now_ + start.delay, period, std::move(handler), tag);
+}
+
+bool Simulator::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;
+  if (observer_) [[unlikely]]
+    observer_->on_cancelled(id, live_.size());
+  return true;
+}
 
 bool Simulator::step() {
   while (!queue_.empty()) {
@@ -53,13 +67,22 @@ bool Simulator::step() {
     }
     queue_.pop();
     now_ = top.at;
+    ++dispatched_;
     if (it->second.periodic) {
       // Re-arm before dispatch so the handler may cancel its own repetition.
       const Time next = top.at + it->second.period;
+      if (observer_) [[unlikely]] {
+        observer_->on_dispatched(top.id, top.at, it->second.enqueued, live_.size(),
+                                 it->second.tag);
+        it->second.enqueued = now_;
+      }
       Handler handler = it->second.handler;
       queue_.push(Scheduled{next, next_seq_++, top.id});
       handler();
     } else {
+      if (observer_) [[unlikely]]
+        observer_->on_dispatched(top.id, top.at, it->second.enqueued,
+                                 live_.size() - 1, it->second.tag);
       Handler handler = std::move(it->second.handler);
       live_.erase(it);
       handler();

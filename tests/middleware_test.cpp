@@ -7,6 +7,7 @@
 #include "ev/middleware/partition.h"
 #include "ev/middleware/pubsub.h"
 #include "ev/middleware/services.h"
+#include "ev/obs/metrics.h"
 #include "ev/sim/simulator.h"
 
 namespace {
@@ -97,7 +98,7 @@ TEST(PubSub, DeliversOnFlushOnly) {
   PubSubBroker broker;
   int received = 0;
   broker.subscribe(7, [&](const Sample&) { ++received; });
-  broker.publish(7, PubSubBroker::encode_double(1.0), 0);
+  Topic<double>(broker, 7).publish(1.0, 0);
   EXPECT_EQ(received, 0);
   EXPECT_EQ(broker.backlog(), 1u);
   broker.flush();
@@ -129,11 +130,31 @@ TEST(PubSub, PublicationsDuringFlushDeferred) {
   EXPECT_EQ(second, 1);
 }
 
-TEST(PubSub, DoubleRoundTrip) {
-  const auto bytes = PubSubBroker::encode_double(3.14159);
+TEST(PubSub, TypedTopicRoundTrip) {
+  const auto bytes = Topic<double>::encode(3.14159);
   const Sample s{bytes, 42};
-  EXPECT_DOUBLE_EQ(PubSubBroker::decode_double(s), 3.14159);
-  EXPECT_THROW(PubSubBroker::decode_double(Sample{{1, 2}, 0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(Topic<double>::decode(s), 3.14159);
+  // Decoding with the wrong payload type is a detected error, not garbage.
+  EXPECT_THROW((void)Topic<double>::decode(Sample{{1, 2}, 0}), std::invalid_argument);
+}
+
+TEST(PubSub, TypedTopicCarriesPodStructs) {
+  struct WheelSpeeds {
+    double fl, fr, rl, rr;
+  };
+  PubSubBroker broker;
+  Topic<WheelSpeeds> topic(broker, 11);
+  WheelSpeeds seen{};
+  std::int64_t seen_at = -1;
+  topic.subscribe([&](const WheelSpeeds& w, const Sample& s) {
+    seen = w;
+    seen_at = s.published_us;
+  });
+  topic.publish(WheelSpeeds{1.0, 2.0, 3.0, 4.0}, 500);
+  broker.flush();
+  EXPECT_DOUBLE_EQ(seen.fl, 1.0);
+  EXPECT_DOUBLE_EQ(seen.rr, 4.0);
+  EXPECT_EQ(seen_at, 500);
 }
 
 TEST(PubSub, TopicsAreIndependent) {
@@ -244,19 +265,82 @@ TEST(Middleware, PubSubFlushedAtWindowBoundaries) {
   const std::size_t prod = mw.create_partition("producer", 2000);
   const std::size_t cons = mw.create_partition("consumer", 2000);
   double last_seen = 0.0;
-  mw.broker().subscribe(9, [&](const Sample& s) {
-    last_seen = PubSubBroker::decode_double(s);
-  });
+  Topic<double> speed(mw.broker(), 9);
+  speed.subscribe([&](const double& v) { last_seen = v; });
   int tick = 0;
   mw.deploy(prod, Runnable{"pub", 10000, 100, [&] {
-                             mw.broker().publish(9, PubSubBroker::encode_double(++tick),
-                                                 0);
+                             speed.publish(++tick, 0);
                              return RunOutcome::kOk;
                            }});
   (void)cons;
   mw.start();
   sim.run_until(Time::ms(50));
   EXPECT_GE(last_seen, 5.0);  // publications delivered every frame
+}
+
+// ---------------------------------------------------------- observability ----
+
+TEST(Middleware, BrokerMetricsMatchHandRolledCounters) {
+  ev::obs::MetricsRegistry registry;
+  PubSubBroker broker;
+  broker.attach_observer(registry, "t");
+  Topic<double> topic(broker, 3);
+  topic.subscribe([](const double&) {});
+  topic.subscribe([](const double&) {});
+  for (int k = 0; k < 5; ++k) topic.publish(k, k * 10);
+  broker.flush(100);
+  // The delivered counter tracks the broker's own ledger exactly.
+  EXPECT_EQ(registry.counter_value(registry.counter("t.pubsub.delivered")),
+            broker.delivered());
+  EXPECT_EQ(broker.delivered(), 10u);  // 5 samples x 2 subscribers
+  // Peak backlog saw all five buffered publications.
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge("t.pubsub.backlog.peak")), 5.0);
+  // Timed flush attributed one latency sample per delivery.
+  EXPECT_EQ(registry
+                .histogram_stats(
+                    registry.histogram("t.pubsub.delivery_latency_us", 0.0, 1e6, 64))
+                .count(),
+            10u);
+}
+
+TEST(Middleware, ObserverMetricsMatchHandRolledCounters) {
+  Simulator sim;
+  ev::obs::MetricsRegistry registry;
+  Middleware mw(sim, "ecu0", 10000);
+  mw.attach_observer(registry);
+  const std::size_t p = mw.create_partition("ctrl", 4000);
+  int runs = 0;
+  mw.deploy(p, ok_runnable("c", 10000, 1000, &runs));
+  mw.start();
+  sim.run_until(Time::ms(50));
+  EXPECT_EQ(registry.counter_value(registry.counter("mw.ecu0.frames")),
+            mw.frames_run());
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge("mw.ecu0.slack_us")),
+                   static_cast<double>(mw.slack_us()));
+  // The partition ran in every frame, consuming 1000 of its 4000 us budget.
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge("mw.ecu0.ctrl.budget_util")),
+                   0.25);
+  // jobs_completed mirrors the partition's cumulative ledger.
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge("mw.ecu0.ctrl.jobs_completed")),
+                   static_cast<double>(mw.partition(p).jobs_completed()));
+  EXPECT_EQ(mw.partition(p).jobs_completed(), static_cast<std::uint64_t>(runs));
+}
+
+TEST(Middleware, ObserverRecordsPartitionSpans) {
+  Simulator sim;
+  ev::obs::MetricsRegistry registry;
+  ev::obs::TraceLog trace;
+  Middleware mw(sim, "ecu0", 10000);
+  mw.attach_observer(registry, &trace);
+  const std::size_t p = mw.create_partition("ctrl", 4000);
+  mw.deploy(p, ok_runnable("c", 10000, 1000));
+  mw.start();
+  sim.run_until(Time::ms(20));
+  ASSERT_FALSE(trace.spans().empty());
+  const ev::obs::Span& s = trace.spans().front();
+  EXPECT_EQ(trace.names().name(s.name), "ctrl");
+  EXPECT_EQ(trace.names().name(s.category), "partition");
+  EXPECT_EQ(s.end_ns - s.begin_ns, 1000 * 1000);  // the 1000 us consumed
 }
 
 TEST(Middleware, RuntimeDeploymentWorks) {

@@ -13,6 +13,7 @@
 #include "ev/network/lin.h"
 #include "ev/network/most.h"
 #include "ev/network/ptp.h"
+#include "ev/obs/metrics.h"
 #include "ev/network/topology.h"
 #include "ev/sim/simulator.h"
 
@@ -106,6 +107,35 @@ TEST(Can, UtilizationAccumulates) {
   sim.run_until(Time::s(1));
   // 135 bits / 1 ms at 500 kbit/s = 27% utilization.
   EXPECT_NEAR(bus.utilization(), 0.27, 0.01);
+}
+
+TEST(Can, ObserverGaugesMatchHandRolledCounters) {
+  Simulator sim;
+  ev::obs::MetricsRegistry registry;
+  CanBus bus(sim, "can0", 500e3);
+  bus.attach_observer(registry);
+  bus.subscribe([](const Frame&, Time) {});
+  sim.schedule_periodic(Time{}, Time::ms(1), [&] {
+    Frame f;
+    f.id = 1;
+    f.payload_size = 8;
+    (void)bus.send(f);
+  });
+  sim.run_until(Time::s(1));
+  EXPECT_EQ(registry.counter_value(registry.counter("net.can0.frames")),
+            bus.delivered_count());
+  EXPECT_EQ(registry.counter_value(registry.counter("net.can0.payload_bytes")),
+            bus.delivered_payload_bytes());
+  // The gauge holds utilization as of the last delivery (slightly before the
+  // horizon the hand-rolled query sees), so compare with a small tolerance.
+  EXPECT_NEAR(registry.gauge_value(registry.gauge("net.can0.utilization")),
+              bus.utilization(), 1e-3);
+  EXPECT_EQ(
+      registry
+          .histogram_stats(registry.histogram("net.can0.frame_latency_us", 0.0, 1e5, 64))
+          .count(),
+      bus.latency().count());
+  EXPECT_GT(bus.delivered_count(), 0u);
 }
 
 TEST(CanAnalysis, HighestPriorityBoundTight) {

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event kernel and the trace recorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "ev/sim/simulator.h"
@@ -107,6 +108,82 @@ TEST(Simulator, PeriodicExactTimestamps) {
   ASSERT_EQ(at.size(), 4u);  // 3, 10, 17, 24 ms
   EXPECT_EQ(at[0], Time::ms(3));
   EXPECT_EQ(at[3], Time::ms(24));
+}
+
+TEST(Simulator, PeriodicAfterOverloadIsDelayRelative) {
+  Simulator sim;
+  sim.schedule_at(Time::ms(4), [] {});
+  sim.run_until(Time::ms(4));  // now = 4 ms
+  std::vector<Time> at;
+  const auto id = sim.schedule_periodic(ev::sim::After{Time::ms(3)}, Time::ms(10),
+                                        [&] { at.push_back(sim.now()); });
+  sim.run_until(Time::ms(30));
+  sim.cancel(id);
+  ASSERT_EQ(at.size(), 3u);  // 7, 17, 27 ms — first firing now + delay
+  EXPECT_EQ(at[0], Time::ms(7));
+  EXPECT_EQ(at[2], Time::ms(27));
+}
+
+namespace {
+struct RecordingObserver final : Simulator::Observer {
+  int scheduled = 0, dispatched = 0, cancelled = 0;
+  std::size_t peak_pending = 0;
+  ev::sim::Time last_delay{};
+  std::vector<ev::sim::EventTag> tags;
+  void on_scheduled(ev::sim::EventId, Time, Time, std::size_t pending) noexcept override {
+    ++scheduled;
+    peak_pending = std::max(peak_pending, pending);
+  }
+  void on_dispatched(ev::sim::EventId, Time at, Time enqueued_at, std::size_t,
+                     ev::sim::EventTag tag) noexcept override {
+    ++dispatched;
+    last_delay = at - enqueued_at;
+    tags.push_back(tag);
+  }
+  void on_cancelled(ev::sim::EventId, std::size_t) noexcept override { ++cancelled; }
+};
+}  // namespace
+
+TEST(Simulator, ObserverSeesLifecycleAndTags) {
+  Simulator sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  constexpr ev::sim::EventTag kBrakeTag = 7;
+  sim.schedule_at(Time::ms(1), [] {}, kBrakeTag);
+  sim.schedule_at(Time::ms(2), [] {});
+  const auto doomed = sim.schedule_at(Time::ms(3), [] {});
+  sim.cancel(doomed);
+  sim.run_until(Time::ms(10));
+  EXPECT_EQ(obs.scheduled, 3);
+  EXPECT_EQ(obs.dispatched, 2);
+  EXPECT_EQ(obs.cancelled, 1);
+  EXPECT_EQ(obs.peak_pending, 3u);
+  EXPECT_EQ(sim.dispatched(), 2u);
+  ASSERT_EQ(obs.tags.size(), 2u);
+  EXPECT_EQ(obs.tags[0], kBrakeTag);
+  EXPECT_EQ(obs.tags[1], ev::sim::kUntagged);
+}
+
+TEST(Simulator, ObserverDispatchDelayIsEnqueueToFire) {
+  Simulator sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  sim.schedule_at(Time::ms(5), [&] { sim.schedule_in(Time::ms(2), [] {}); });
+  sim.run_until(Time::ms(10));
+  // The nested event was enqueued at t=5 and fired at t=7.
+  EXPECT_EQ(obs.last_delay, Time::ms(2));
+}
+
+TEST(Simulator, ObserverPeriodicDelayResetEachCycle) {
+  Simulator sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  const auto id = sim.schedule_periodic(Time::ms(10), Time::ms(10), [] {});
+  sim.run_until(Time::ms(35));
+  sim.cancel(id);
+  EXPECT_EQ(obs.dispatched, 3);
+  // Each firing's delay is one period, not the cumulative age of the event.
+  EXPECT_EQ(obs.last_delay, Time::ms(10));
 }
 
 TEST(Simulator, RunUntilAdvancesClockToBoundary) {
