@@ -4,8 +4,19 @@
 
 namespace ev::battery {
 
-double ScalarSensor::measure(double true_value, util::Rng& rng) const {
-  double v = true_value + bias_;
+double ScalarSensor::measure(double true_value, util::Rng& rng) {
+  switch (fault_.mode) {
+    case SensorFaultMode::kStuckAt:
+      return fault_.stuck_value;
+    case SensorFaultMode::kDropout:
+      return fault_.dropout_value;
+    case SensorFaultMode::kOffsetDrift:
+      drift_accum_ += fault_.drift_per_sample;
+      break;
+    case SensorFaultMode::kNone:
+      break;
+  }
+  double v = true_value + bias_ + drift_accum_;
   if (noise_sigma_ > 0.0) v += rng.normal(0.0, noise_sigma_);
   if (quantization_ > 0.0) v = std::round(v / quantization_) * quantization_;
   return v;

@@ -64,6 +64,15 @@ class BatteryManager {
   /// Configuration in force.
   [[nodiscard]] const BmsConfig& config() const noexcept { return config_; }
 
+  /// Injects \p fault into the voltage sensor of pack-wide cell
+  /// \p global_cell (module-major order); throws std::out_of_range past the
+  /// pack. The fault surfaces only through measurements, so detection runs
+  /// through the SafetyMonitor's debounce path exactly like a real failure.
+  void inject_voltage_sensor_fault(std::size_t global_cell, const battery::SensorFault& fault);
+  /// Same for the temperature sensor of pack-wide cell \p global_cell.
+  void inject_temperature_sensor_fault(std::size_t global_cell,
+                                       const battery::SensorFault& fault);
+
  private:
   [[nodiscard]] std::unique_ptr<BalancingStrategy> make_strategy() const;
 

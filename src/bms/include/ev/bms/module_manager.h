@@ -54,6 +54,16 @@ class ModuleManager {
   [[nodiscard]] const BalancingStrategy& strategy() const noexcept { return *strategy_; }
   /// True when the policy reports the module balanced.
   [[nodiscard]] bool balanced() const;
+  /// Cells supervised by this manager.
+  [[nodiscard]] std::size_t cell_count() const noexcept { return estimates_.size(); }
+
+  /// Injects \p fault into the voltage sensor of local cell \p cell (throws
+  /// std::out_of_range past the module). Used by the fault-injection layer;
+  /// the corrupted measurement then flows through the estimator and the
+  /// SafetyMonitor's debounce path like any real reading.
+  void inject_voltage_fault(std::size_t cell, const battery::SensorFault& fault);
+  /// Same for the temperature sensor of local cell \p cell.
+  void inject_temperature_fault(std::size_t cell, const battery::SensorFault& fault);
 
  private:
   std::vector<std::unique_ptr<SocEstimator>> estimators_;

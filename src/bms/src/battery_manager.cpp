@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 namespace ev::bms {
 
@@ -27,6 +28,30 @@ BatteryManager::BatteryManager(const battery::Pack& pack, BmsConfig config)
                            config.initial_soc_estimate, config.estimator, std::move(curve),
                            c0.params().r0_ohm, make_strategy());
   }
+}
+
+void BatteryManager::inject_voltage_sensor_fault(std::size_t global_cell,
+                                                 const battery::SensorFault& fault) {
+  for (ModuleManager& mm : managers_) {
+    if (global_cell < mm.cell_count()) {
+      mm.inject_voltage_fault(global_cell, fault);
+      return;
+    }
+    global_cell -= mm.cell_count();
+  }
+  throw std::out_of_range("BatteryManager: global_cell beyond pack");
+}
+
+void BatteryManager::inject_temperature_sensor_fault(std::size_t global_cell,
+                                                     const battery::SensorFault& fault) {
+  for (ModuleManager& mm : managers_) {
+    if (global_cell < mm.cell_count()) {
+      mm.inject_temperature_fault(global_cell, fault);
+      return;
+    }
+    global_cell -= mm.cell_count();
+  }
+  throw std::out_of_range("BatteryManager: global_cell beyond pack");
 }
 
 BmsReport BatteryManager::step(battery::Pack& pack, double dt_s, util::Rng& rng) {

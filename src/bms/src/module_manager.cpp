@@ -56,4 +56,13 @@ void ModuleManager::step(battery::SeriesModule& module, double sensed_string_cur
 
 bool ModuleManager::balanced() const { return strategy_->converged(estimates_); }
 
+void ModuleManager::inject_voltage_fault(std::size_t cell, const battery::SensorFault& fault) {
+  voltage_sensors_.at(cell).inject_fault(fault);
+}
+
+void ModuleManager::inject_temperature_fault(std::size_t cell,
+                                             const battery::SensorFault& fault) {
+  temperature_sensors_.at(cell).inject_fault(fault);
+}
+
 }  // namespace ev::bms

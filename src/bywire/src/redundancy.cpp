@@ -34,7 +34,10 @@ void RedundantChannelSet::inject_systematic_fault(int implementation_id) {
 }
 
 void RedundantChannelSet::inject_random_fault(std::size_t index) {
-  faulted_.at(index) = true;
+  if (index >= faulted_.size())
+    throw std::out_of_range("RedundantChannelSet: replica index " + std::to_string(index) +
+                            " >= channel count " + std::to_string(faulted_.size()));
+  faulted_[index] = true;
 }
 
 void RedundantChannelSet::repair() {

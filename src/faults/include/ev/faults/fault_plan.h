@@ -1,0 +1,76 @@
+/// \file fault_plan.h
+/// Deterministic fault schedule. A FaultPlan is built before the run —
+/// optionally using its own seeded RNG to draw injection times and targets —
+/// then armed on the simulator, which fires every injection at its exact
+/// simulated time. Two runs with the same seed and the same construction
+/// code produce bit-identical fault sequences, which is what makes
+/// system-wide fault-injection experiments reproducible and comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ev/faults/degradation.h"
+#include "ev/obs/metrics.h"
+#include "ev/sim/simulator.h"
+#include "ev/util/rng.h"
+
+namespace ev::faults {
+
+/// One fired injection, for reports.
+struct Injection {
+  std::string label;
+  sim::Time at;
+};
+
+/// A seeded schedule of fault-injection actions.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  /// The plan's private RNG — draw injection times/targets from here (and
+  /// only here) to keep the schedule a pure function of the seed.
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  /// Schedules \p action to fire at simulated time \p at under \p label.
+  /// Must be called before arm().
+  void add(sim::Time at, std::string label, std::function<void()> action);
+
+  /// When set, every fired injection first calls
+  /// DegradationManager::mark_fault_injected(), so the manager's
+  /// `deg.detection_latency_us` histogram measures injection-to-reaction
+  /// latency without the experiment wiring anything manually.
+  void set_degradation(DegradationManager* manager) noexcept { degradation_ = manager; }
+
+  /// Attaches observability: counter `faults.injected`.
+  void attach_observer(obs::MetricsRegistry& registry);
+
+  /// Schedules all planned injections on \p sim. Call once.
+  void arm(sim::Simulator& sim);
+
+  /// Entries planned (fired or not).
+  [[nodiscard]] std::size_t planned() const noexcept { return planned_.size(); }
+  /// Injections fired so far, in firing order.
+  [[nodiscard]] const std::vector<Injection>& injections() const noexcept {
+    return fired_;
+  }
+
+ private:
+  struct Planned {
+    sim::Time at;
+    std::string label;
+    std::function<void()> action;
+  };
+
+  util::Rng rng_;
+  std::vector<Planned> planned_;
+  std::vector<Injection> fired_;
+  DegradationManager* degradation_ = nullptr;
+  bool armed_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId injected_metric_ = obs::kInvalidId;
+};
+
+}  // namespace ev::faults

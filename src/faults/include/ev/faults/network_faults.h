@@ -1,0 +1,97 @@
+/// \file network_faults.h
+/// Network-level fault actors and their detector. BabblingIdiot models the
+/// classic failure a time-triggered design guards against: a node that
+/// floods the medium with top-priority traffic and starves everyone else.
+/// NetworkHealthWatcher is the matching detection service: it polls each
+/// bus's public health signals (bus-off state, fault counters, utilization)
+/// and reports fault episodes to the DegradationManager.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ev/faults/degradation.h"
+#include "ev/network/bus.h"
+#include "ev/obs/metrics.h"
+#include "ev/sim/simulator.h"
+
+namespace ev::faults {
+
+/// A node stuck transmitting the highest-priority frame at a short period.
+class BabblingIdiot {
+ public:
+  /// Will babble on \p bus with identifier \p id (0 = wins every CAN
+  /// arbitration) every \p period_us, payload \p payload_bytes.
+  BabblingIdiot(sim::Simulator& sim, network::Bus& bus, std::uint32_t id = 0,
+                std::int64_t period_us = 100, std::size_t payload_bytes = 8);
+
+  /// Starts babbling at the next period boundary.
+  void start();
+  /// Silences the node (fault removed / bus guardian kicked in).
+  void stop();
+  /// True while babbling.
+  [[nodiscard]] bool active() const noexcept { return event_ != sim::kNoEvent; }
+  /// Frames the idiot has pushed into the bus (accepted sends).
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return sent_; }
+
+ private:
+  sim::Simulator* sim_;
+  network::Bus* bus_;
+  std::uint32_t id_;
+  std::int64_t period_us_;
+  std::size_t payload_bytes_;
+  sim::EventId event_ = sim::kNoEvent;
+  std::uint64_t sent_ = 0;
+};
+
+/// Watcher policy.
+struct NetworkWatchConfig {
+  std::int64_t poll_period_us = 10000;  ///< Health poll period.
+  double utilization_limit = 0.9;       ///< Sustained load above this is a fault.
+};
+
+/// Polls registered buses and reports fault *episodes* (not individual
+/// frames) to the DegradationManager: entering bus-off, new CRC/drop fault
+/// activity since the previous poll, or utilization beyond the limit. Each
+/// condition reports once per episode so a long burst escalates the mode
+/// machine in steps instead of flooding it.
+class NetworkHealthWatcher {
+ public:
+  NetworkHealthWatcher(sim::Simulator& sim, DegradationManager& degradation,
+                       NetworkWatchConfig config = {});
+
+  /// Adds \p bus to the watch list. Call before start().
+  void watch(network::Bus& bus);
+
+  /// Arms the periodic poll.
+  void start();
+
+  /// Attaches observability: counter `net.watch.faults_reported`.
+  void attach_observer(obs::MetricsRegistry& registry);
+
+  /// Fault episodes reported to the DegradationManager.
+  [[nodiscard]] std::uint64_t faults_reported() const noexcept { return reported_; }
+
+ private:
+  struct Watched {
+    network::Bus* bus = nullptr;
+    std::size_t last_dropped = 0;
+    std::size_t last_corrupted = 0;
+    bool in_bus_off = false;
+    bool over_utilized = false;
+  };
+
+  void poll();
+  void report();
+
+  sim::Simulator* sim_;
+  DegradationManager* degradation_;
+  NetworkWatchConfig config_;
+  std::vector<Watched> watched_;
+  bool started_ = false;
+  std::uint64_t reported_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId reported_metric_ = obs::kInvalidId;
+};
+
+}  // namespace ev::faults

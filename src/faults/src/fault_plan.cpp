@@ -1,0 +1,35 @@
+#include "ev/faults/fault_plan.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ev::faults {
+
+void FaultPlan::add(sim::Time at, std::string label, std::function<void()> action) {
+  if (armed_) throw std::logic_error("FaultPlan: cannot add after arm()");
+  if (!action) throw std::invalid_argument("FaultPlan: action is null");
+  planned_.push_back(Planned{at, std::move(label), std::move(action)});
+}
+
+void FaultPlan::attach_observer(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  injected_metric_ = registry.counter("faults.injected");
+}
+
+void FaultPlan::arm(sim::Simulator& sim) {
+  if (armed_) throw std::logic_error("FaultPlan: already armed");
+  armed_ = true;
+  for (Planned& p : planned_) {
+    // The Planned entry outlives the run (the plan owns it), so the handler
+    // captures a pointer instead of copying the action.
+    Planned* entry = &p;
+    sim.schedule_at(p.at, [this, entry, &sim] {
+      if (degradation_) degradation_->mark_fault_injected();
+      fired_.push_back(Injection{entry->label, sim.now()});
+      if (metrics_) metrics_->add(injected_metric_);
+      entry->action();
+    });
+  }
+}
+
+}  // namespace ev::faults

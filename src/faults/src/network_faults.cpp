@@ -1,0 +1,82 @@
+#include "ev/faults/network_faults.h"
+
+#include <stdexcept>
+
+namespace ev::faults {
+
+BabblingIdiot::BabblingIdiot(sim::Simulator& sim, network::Bus& bus, std::uint32_t id,
+                             std::int64_t period_us, std::size_t payload_bytes)
+    : sim_(&sim), bus_(&bus), id_(id), period_us_(period_us),
+      payload_bytes_(payload_bytes) {
+  if (period_us <= 0) throw std::invalid_argument("BabblingIdiot: period must be positive");
+}
+
+void BabblingIdiot::start() {
+  if (event_ != sim::kNoEvent) return;
+  event_ = sim_->schedule_periodic(sim::After{sim::Time::us(period_us_)},
+                                   sim::Time::us(period_us_),
+                                   [this] {
+                                     network::Frame frame;
+                                     frame.id = id_;
+                                     frame.payload_size = payload_bytes_;
+                                     if (bus_->send(frame)) ++sent_;
+                                   });
+}
+
+void BabblingIdiot::stop() {
+  if (event_ == sim::kNoEvent) return;
+  sim_->cancel(event_);
+  event_ = sim::kNoEvent;
+}
+
+NetworkHealthWatcher::NetworkHealthWatcher(sim::Simulator& sim,
+                                           DegradationManager& degradation,
+                                           NetworkWatchConfig config)
+    : sim_(&sim), degradation_(&degradation), config_(config) {
+  if (config_.poll_period_us <= 0)
+    throw std::invalid_argument("NetworkHealthWatcher: poll period must be positive");
+}
+
+void NetworkHealthWatcher::watch(network::Bus& bus) {
+  if (started_) throw std::logic_error("NetworkHealthWatcher: cannot watch after start()");
+  watched_.push_back(Watched{&bus, bus.fault_dropped_count(), bus.fault_corrupted_count(),
+                             false, false});
+}
+
+void NetworkHealthWatcher::start() {
+  if (started_) throw std::logic_error("NetworkHealthWatcher: already started");
+  started_ = true;
+  sim_->schedule_periodic(sim::After{sim::Time::us(config_.poll_period_us)},
+                          sim::Time::us(config_.poll_period_us), [this] { poll(); });
+}
+
+void NetworkHealthWatcher::attach_observer(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  reported_metric_ = registry.counter("net.watch.faults_reported");
+}
+
+void NetworkHealthWatcher::poll() {
+  for (Watched& w : watched_) {
+    const bool off = w.bus->bus_off();
+    if (off && !w.in_bus_off) report();
+    w.in_bus_off = off;
+
+    const std::size_t dropped = w.bus->fault_dropped_count();
+    const std::size_t corrupted = w.bus->fault_corrupted_count();
+    if (dropped != w.last_dropped || corrupted != w.last_corrupted) report();
+    w.last_dropped = dropped;
+    w.last_corrupted = corrupted;
+
+    const bool hot = w.bus->utilization() > config_.utilization_limit;
+    if (hot && !w.over_utilized) report();
+    w.over_utilized = hot;
+  }
+}
+
+void NetworkHealthWatcher::report() {
+  ++reported_;
+  if (metrics_) metrics_->add(reported_metric_);
+  degradation_->on_bus_fault();
+}
+
+}  // namespace ev::faults

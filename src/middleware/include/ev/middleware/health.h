@@ -1,0 +1,103 @@
+/// \file health.h
+/// Health-monitoring service for the partitioned middleware: every partition
+/// publishes a heartbeat from inside its own time window, and a watchdog
+/// running on the dispatcher's timeline detects partitions that stop beating
+/// (crash, hang, overrun-stop) and restarts them. This is the reaction half
+/// of the fault-injection story — detection happens purely through the
+/// heartbeat channel, never by peeking at injected-fault state, so the
+/// measured detection latency is an honest property of the architecture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ev/middleware/middleware.h"
+#include "ev/obs/metrics.h"
+#include "ev/sim/simulator.h"
+
+namespace ev::middleware {
+
+/// Watchdog policy.
+struct HealthConfig {
+  /// Watchdog evaluation period [us]; 0 means one check per major frame.
+  std::int64_t check_period_us = 0;
+  /// Consecutive checks without a fresh heartbeat before the partition is
+  /// declared failed. Two is the classic debounce: one silent check can be
+  /// phase alignment, two is a dead partition.
+  std::uint32_t missed_checks_to_restart = 2;
+  /// Declared WCET of the injected heartbeat runnable [us]. Kept tiny so
+  /// monitoring does not perturb the partitions' real budgets.
+  std::int64_t heartbeat_wcet_us = 1;
+  /// Restart failed partitions automatically. When false the watchdog only
+  /// detects and reports (useful for measuring raw detection latency).
+  bool auto_restart = true;
+};
+
+/// What the watchdog observed about a partition.
+enum class HealthEvent {
+  kHeartbeatMiss,  ///< One silent check (below the restart threshold).
+  kFailureDetected,  ///< Threshold reached; partition declared failed.
+  kRestart,          ///< Partition restarted by the watchdog.
+};
+
+/// Per-partition heartbeat publishing plus a dispatcher-level watchdog.
+class HealthMonitor {
+ public:
+  /// Called on every watchdog event with the partition index, the event,
+  /// and — for kFailureDetected — the elapsed time since the last good
+  /// heartbeat (the detection latency; zero otherwise).
+  using Listener = std::function<void(std::size_t, HealthEvent, sim::Time)>;
+
+  HealthMonitor(sim::Simulator& sim, Middleware& middleware, HealthConfig config = {});
+
+  /// Deploys one heartbeat runnable into every existing partition and arms
+  /// the periodic watchdog. Call after the partitions are created and
+  /// before (or after) Middleware::start(); monitoring begins at the next
+  /// check period. Must be called at most once.
+  void start();
+
+  /// Registers \p listener for watchdog events.
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  /// Attaches observability under `mw.<ecu>.health.`:
+  ///  - counter `mw.<ecu>.health.heartbeat_misses` (every silent check)
+  ///  - counter `mw.<ecu>.health.restarts`
+  ///  - histogram `mw.<ecu>.health.detection_latency_us` (time from the
+  ///    last good heartbeat to the failure declaration)
+  void attach_observer(obs::MetricsRegistry& registry);
+
+  /// Partitions restarted by the watchdog.
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+  /// Silent checks observed across all partitions.
+  [[nodiscard]] std::uint64_t heartbeat_misses() const noexcept { return misses_; }
+  /// Heartbeats received from partition \p index.
+  [[nodiscard]] std::uint64_t heartbeats(std::size_t index) const {
+    return watched_.at(index).beats;
+  }
+
+ private:
+  struct Watched {
+    std::uint64_t beats = 0;           ///< Heartbeats published so far.
+    std::uint64_t beats_at_check = 0;  ///< Count seen at the previous check.
+    sim::Time last_beat{};             ///< Timestamp of the newest heartbeat.
+    std::uint32_t silent_checks = 0;   ///< Consecutive checks without a beat.
+  };
+
+  void check();
+
+  sim::Simulator* sim_;
+  Middleware* mw_;
+  HealthConfig config_;
+  std::vector<Watched> watched_;
+  Listener listener_;
+  bool started_ = false;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t misses_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId misses_metric_ = obs::kInvalidId;
+  obs::MetricId restarts_metric_ = obs::kInvalidId;
+  obs::MetricId latency_metric_ = obs::kInvalidId;
+};
+
+}  // namespace ev::middleware

@@ -59,6 +59,8 @@ class Middleware {
   [[nodiscard]] const std::vector<FrameWindow>& windows() const noexcept { return windows_; }
   /// Major frames executed.
   [[nodiscard]] std::uint64_t frames_run() const noexcept { return frames_; }
+  /// Dispatcher cycle length [us].
+  [[nodiscard]] std::int64_t major_frame_us() const noexcept { return major_frame_us_; }
   /// Unallocated time per major frame [us] (consolidation headroom).
   [[nodiscard]] std::int64_t slack_us() const noexcept;
   /// ECU name.

@@ -54,8 +54,27 @@ class Partition {
   /// jobs unserved. Returns consumed time [us].
   std::int64_t execute_window(std::int64_t now_us, std::int64_t window_us);
 
-  /// Restores a stopped partition (maintenance restart).
-  void restart() noexcept { health_ = PartitionHealth::kHealthy; }
+  /// Restores a stopped partition (maintenance restart). Also clears any
+  /// pending injected faults so the restarted partition runs healthy.
+  void restart() noexcept {
+    health_ = PartitionHealth::kHealthy;
+    crash_pending_ = false;
+    hang_windows_ = 0;
+  }
+
+  /// Arms a crash fault: the next execute_window() call fails immediately
+  /// (fault counted, partition stopped fail-silent) without running any
+  /// runnable body. Deterministic injection point for the fault plan.
+  void inject_crash() noexcept { crash_pending_ = true; }
+  /// Arms a hang fault: the next \p windows execute_window() calls consume
+  /// the entire window while completing no job (livelock/infinite loop).
+  /// The partition stays nominally healthy, so only a missed heartbeat —
+  /// not the health flag — can reveal the failure.
+  void inject_hang(std::uint32_t windows) noexcept { hang_windows_ = windows; }
+  /// True while an injected crash or hang is pending.
+  [[nodiscard]] bool fault_pending() const noexcept {
+    return crash_pending_ || hang_windows_ > 0;
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::int64_t budget_us() const noexcept { return budget_us_; }
@@ -82,6 +101,8 @@ class Partition {
   std::uint64_t jobs_deferred_ = 0;
   std::uint64_t fault_count_ = 0;
   std::int64_t cpu_time_us_ = 0;
+  bool crash_pending_ = false;
+  std::uint32_t hang_windows_ = 0;
 };
 
 }  // namespace ev::middleware

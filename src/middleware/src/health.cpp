@@ -1,0 +1,71 @@
+#include "ev/middleware/health.h"
+
+#include <stdexcept>
+
+namespace ev::middleware {
+
+HealthMonitor::HealthMonitor(sim::Simulator& sim, Middleware& middleware, HealthConfig config)
+    : sim_(&sim), mw_(&middleware), config_(config) {
+  if (config_.missed_checks_to_restart == 0)
+    throw std::invalid_argument("HealthMonitor: missed_checks_to_restart must be > 0");
+  if (config_.check_period_us == 0) config_.check_period_us = middleware.major_frame_us();
+  if (config_.check_period_us <= 0)
+    throw std::invalid_argument("HealthMonitor: check period must be positive");
+}
+
+void HealthMonitor::start() {
+  if (started_) throw std::logic_error("HealthMonitor: already started");
+  started_ = true;
+  watched_.resize(mw_->partition_count());
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    Watched* w = &watched_[i];
+    mw_->deploy(i, Runnable{"heartbeat", config_.check_period_us, config_.heartbeat_wcet_us,
+                            [this, w] {
+                              ++w->beats;
+                              w->last_beat = sim_->now();
+                              return RunOutcome::kOk;
+                            }});
+  }
+  // First check one period in: every partition gets a full period to beat.
+  sim_->schedule_periodic(sim::After{sim::Time::us(config_.check_period_us)},
+                          sim::Time::us(config_.check_period_us), [this] { check(); });
+}
+
+void HealthMonitor::attach_observer(obs::MetricsRegistry& registry) {
+  const std::string base = "mw." + mw_->ecu_name() + ".health.";
+  metrics_ = &registry;
+  misses_metric_ = registry.counter(base + "heartbeat_misses");
+  restarts_metric_ = registry.counter(base + "restarts");
+  latency_metric_ = registry.histogram(base + "detection_latency_us", 0.0, 1e6, 64);
+}
+
+void HealthMonitor::check() {
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    Watched& w = watched_[i];
+    if (w.beats != w.beats_at_check) {
+      w.beats_at_check = w.beats;
+      w.silent_checks = 0;
+      continue;
+    }
+    ++w.silent_checks;
+    ++misses_;
+    if (metrics_) metrics_->add(misses_metric_);
+    if (listener_) listener_(i, HealthEvent::kHeartbeatMiss, sim::Time{});
+    if (w.silent_checks < config_.missed_checks_to_restart) continue;
+
+    const sim::Time latency = sim_->now() - w.last_beat;
+    if (metrics_) metrics_->observe(latency_metric_, latency.to_us());
+    if (listener_) listener_(i, HealthEvent::kFailureDetected, latency);
+    if (config_.auto_restart) {
+      mw_->partition(i).restart();
+      ++restarts_;
+      if (metrics_) metrics_->add(restarts_metric_);
+      if (listener_) listener_(i, HealthEvent::kRestart, latency);
+    }
+    // Either way the failure has been handled/reported; debounce restarts.
+    w.silent_checks = 0;
+    w.last_beat = sim_->now();
+  }
+}
+
+}  // namespace ev::middleware

@@ -19,6 +19,17 @@ void Partition::deploy(Runnable runnable) {
 
 std::int64_t Partition::execute_window(std::int64_t now_us, std::int64_t window_us) {
   if (health_ != PartitionHealth::kHealthy) return 0;
+  if (crash_pending_) {
+    crash_pending_ = false;
+    ++fault_count_;
+    health_ = PartitionHealth::kStopped;
+    return 0;
+  }
+  if (hang_windows_ > 0) {
+    --hang_windows_;
+    cpu_time_us_ += window_us;
+    return window_us;  // spins through the whole window, completes nothing
+  }
   std::int64_t consumed = 0;
   for (std::size_t i = 0; i < runnables_.size(); ++i) {
     Runnable& r = runnables_[i];

@@ -23,14 +23,15 @@ class CanBus : public Bus {
   /// the protocol maximum is 1 Mbit/s).
   CanBus(sim::Simulator& sim, std::string name, double bit_rate_bps = 500e3);
 
-  bool send(Frame frame) override;
-
   /// Number of frames waiting for arbitration right now.
   [[nodiscard]] std::size_t queue_depth() const noexcept { return pending_.size(); }
 
   /// On-the-wire size of a CAN frame with \p payload_bytes of data,
   /// including worst-case bit stuffing, in bits (standard 11-bit identifier).
   [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+ protected:
+  bool do_send(Frame frame) override;
 
  private:
   void try_start_transmission();

@@ -70,17 +70,18 @@ class EthernetSwitch : public Bus {
   /// Installs a time-aware gate schedule on \p port.
   void set_gate_schedule(std::size_t port, GateSchedule schedule);
 
-  /// Sends a frame from its source node's port through the switch. Fails if
-  /// the source is not attached or the id has no route. Payload is clamped
-  /// to the Ethernet minimum of 46 bytes for timing purposes.
-  bool send(Frame frame) override;
-
   /// On-the-wire bits including preamble (8 B), header+FCS (18 B), padding
   /// to the 46-byte minimum payload, and interframe gap (12 B).
   [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
 
   /// Current depth of the egress queue at \p port across all priorities.
   [[nodiscard]] std::size_t egress_depth(std::size_t port) const;
+
+ protected:
+  /// Sends a frame from its source node's port through the switch. Fails if
+  /// the source is not attached or the id has no route. Payload is clamped
+  /// to the Ethernet minimum of 46 bytes for timing purposes.
+  bool do_send(Frame frame) override;
 
  private:
   struct Egress {

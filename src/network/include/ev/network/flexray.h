@@ -38,11 +38,6 @@ class FlexRayBus : public Bus {
   FlexRayBus(sim::Simulator& sim, std::string name, FlexRayConfig config,
              double bit_rate_bps = 10e6);
 
-  /// Static ids: buffers the latest value (state semantics). Dynamic ids:
-  /// queues the frame (event semantics). Fails if a dynamic payload exceeds
-  /// what the whole dynamic segment can carry.
-  bool send(Frame frame) override;
-
   /// Starts cycle execution at \p start.
   void start(sim::Time start = {});
 
@@ -58,6 +53,12 @@ class FlexRayBus : public Bus {
   /// Encoded frame size: header (5 bytes) + payload + trailer (3 bytes),
   /// byte-start sequences (10 bits/byte) plus start/end sequences.
   [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+ protected:
+  /// Static ids: buffers the latest value (state semantics). Dynamic ids:
+  /// queues the frame (event semantics). Fails if a dynamic payload exceeds
+  /// what the whole dynamic segment can carry.
+  bool do_send(Frame frame) override;
 
  private:
   void run_cycle();

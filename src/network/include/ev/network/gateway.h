@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ev/network/bus.h"
+#include "ev/obs/metrics.h"
 #include "ev/sim/simulator.h"
 
 namespace ev::network {
@@ -42,6 +43,14 @@ class Gateway {
   /// Gateway name.
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+  /// Attaches observability, mirroring Bus::attach_observer. Registers:
+  ///  - counter   `net.gw.<name>.forwarded` — frames re-injected downstream
+  ///  - counter   `net.gw.<name>.dropped` — frames the target bus rejected
+  ///  - histogram `net.gw.<name>.hop_latency_us` — per-hop latency from
+  ///    arrival at the gateway to hand-off at the target bus
+  /// Ids are interned here; \p registry must outlive the gateway's use.
+  void attach_observer(obs::MetricsRegistry& registry);
+
  private:
   void on_frame(Bus* from, const Frame& frame);
 
@@ -52,6 +61,10 @@ class Gateway {
   std::vector<Bus*> subscribed_;
   std::size_t forwarded_ = 0;
   std::size_t dropped_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId forwarded_metric_ = obs::kInvalidId;
+  obs::MetricId dropped_metric_ = obs::kInvalidId;
+  obs::MetricId hop_latency_metric_ = obs::kInvalidId;
 };
 
 }  // namespace ev::network

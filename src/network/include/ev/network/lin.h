@@ -30,10 +30,6 @@ class LinBus : public Bus {
   LinBus(sim::Simulator& sim, std::string name, std::vector<LinSlot> schedule,
          double slot_time_s = 0.01, double bit_rate_bps = 19200.0);
 
-  /// Buffers the latest value for the frame's slot; the slot transmits the
-  /// most recent buffered frame (LIN signals are state, not queues).
-  bool send(Frame frame) override;
-
   /// Starts executing the schedule table at simulation time \p start.
   void start(sim::Time start = {});
 
@@ -47,6 +43,11 @@ class LinBus : public Bus {
   /// On-the-wire bits of a LIN frame: header (break+sync+pid ~ 34 bits) plus
   /// response ((n+1) bytes with start/stop bits).
   [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
+
+ protected:
+  /// Buffers the latest value for the frame's slot; the slot transmits the
+  /// most recent buffered frame (LIN signals are state, not queues).
+  bool do_send(Frame frame) override;
 
  private:
   void run_slot(std::size_t index);

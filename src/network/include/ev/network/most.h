@@ -25,11 +25,6 @@ class MostBus : public Bus {
   MostBus(sim::Simulator& sim, std::string name, std::vector<MostStream> streams,
           double bit_rate_bps = 25e6, double frame_rate_hz = 44100.0);
 
-  /// Synchronous ids deliver after exactly one frame period (isochronous
-  /// pipeline); other ids use the asynchronous region, which serves a
-  /// limited byte budget per frame FCFS.
-  bool send(Frame frame) override;
-
   /// Starts the ring's frame clock.
   void start(sim::Time start = {});
 
@@ -39,6 +34,12 @@ class MostBus : public Bus {
   [[nodiscard]] std::size_t synchronous_bytes() const noexcept { return sync_bytes_; }
   /// Bytes per frame available to asynchronous traffic.
   [[nodiscard]] std::size_t async_bytes_per_frame() const noexcept;
+
+ protected:
+  /// Synchronous ids deliver after exactly one frame period (isochronous
+  /// pipeline); other ids use the asynchronous region, which serves a
+  /// limited byte budget per frame FCFS.
+  bool do_send(Frame frame) override;
 
  private:
   void run_frame();

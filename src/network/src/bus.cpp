@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ev/util/crc.h"
+
 namespace ev::network {
 
 Bus::Bus(sim::Simulator& sim, std::string name, double bit_rate_bps)
@@ -19,7 +21,48 @@ double Bus::utilization() const noexcept {
   return busy_.to_seconds() / elapsed;
 }
 
+bool Bus::send(Frame frame) {
+  if (bus_off_until_ != sim::Time{} && sim_->now() < bus_off_until_) {
+    ++busoff_rejected_;
+    if (metrics_) metrics_->add(busoff_rejected_metric_);
+    return false;
+  }
+  return do_send(std::move(frame));
+}
+
+void Bus::inject_bus_off(sim::Time recovery) { bus_off_until_ = sim_->now() + recovery; }
+
+bool Bus::bus_off() const noexcept {
+  return bus_off_until_ != sim::Time{} && sim_->now() < bus_off_until_;
+}
+
+bool Bus::consume_delivery_fault(const Frame& frame) {
+  if (drop_pending_ > 0) {
+    --drop_pending_;
+    ++fault_dropped_;
+    if (metrics_) metrics_->add(fault_dropped_metric_);
+    return true;
+  }
+  // Corruption: flip one payload bit in flight; the receiving controller's
+  // CRC check catches the mismatch and discards the frame. Frames carrying
+  // actual payload bytes exercise the real CRC-15 machinery; size-only
+  // frames model the same detected-and-discarded outcome directly.
+  --corrupt_pending_;
+  if (!frame.payload.empty()) {
+    const std::uint16_t expected = util::crc15_can(frame.payload);
+    std::vector<std::uint8_t> mangled = frame.payload;
+    mangled[0] ^= 0x01;
+    if (util::crc15_can(mangled) == expected) return false;  // undetectable (never for CRC-15)
+  }
+  ++fault_corrupted_;
+  if (metrics_) metrics_->add(fault_corrupted_metric_);
+  return true;
+}
+
 void Bus::deliver(const Frame& frame) {
+  if (drop_pending_ > 0 || corrupt_pending_ > 0) {
+    if (consume_delivery_fault(frame)) return;
+  }
   ++delivered_;
   delivered_bytes_ += frame.payload_size;
   const sim::Time latency = sim_->now() - frame.created;
@@ -40,6 +83,9 @@ void Bus::attach_observer(obs::MetricsRegistry& registry) {
   bytes_metric_ = registry.counter(base + "payload_bytes");
   latency_metric_ = registry.histogram(base + "frame_latency_us", 0.0, 1e5, 64);
   utilization_metric_ = registry.gauge(base + "utilization");
+  fault_dropped_metric_ = registry.counter(base + "fault.dropped");
+  fault_corrupted_metric_ = registry.counter(base + "fault.corrupted");
+  busoff_rejected_metric_ = registry.counter(base + "fault.busoff_rejected");
 }
 
 }  // namespace ev::network

@@ -16,7 +16,7 @@ std::size_t CanBus::frame_bits(std::size_t payload_bytes) noexcept {
   return 47 + 8 * n + (34 + 8 * n - 1) / 4;
 }
 
-bool CanBus::send(Frame frame) {
+bool CanBus::do_send(Frame frame) {
   if (frame.payload_size > 8) return false;
   if (frame.created == sim::Time{}) frame.created = simulator().now();
   frame.sequence = next_sequence();

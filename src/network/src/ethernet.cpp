@@ -44,7 +44,7 @@ std::size_t EthernetSwitch::frame_bits(std::size_t payload_bytes) noexcept {
   return (8 + 14 + payload + 4 + 12) * 8;  // preamble + header + data + FCS + IFG
 }
 
-bool EthernetSwitch::send(Frame frame) {
+bool EthernetSwitch::do_send(Frame frame) {
   const auto port_it = node_port_.find(frame.source);
   if (port_it == node_port_.end()) return false;
   const auto route_it = routes_.find(frame.id);

@@ -28,7 +28,7 @@ FlexRayBus::FlexRayBus(sim::Simulator& sim, std::string name, FlexRayConfig conf
   }
 }
 
-bool FlexRayBus::send(Frame frame) {
+bool FlexRayBus::do_send(Frame frame) {
   if (frame.created == sim::Time{}) frame.created = simulator().now();
   frame.sequence = next_sequence();
   const auto it = static_index_.find(frame.id);

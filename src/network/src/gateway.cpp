@@ -16,6 +16,14 @@ void Gateway::add_route(GatewayRoute route) {
   routes_.push_back(route);
 }
 
+void Gateway::attach_observer(obs::MetricsRegistry& registry) {
+  const std::string base = "net.gw." + name_ + ".";
+  metrics_ = &registry;
+  forwarded_metric_ = registry.counter(base + "forwarded");
+  dropped_metric_ = registry.counter(base + "dropped");
+  hop_latency_metric_ = registry.histogram(base + "hop_latency_us", 0.0, 1e4, 64);
+}
+
 void Gateway::on_frame(Bus* from, const Frame& frame) {
   for (const GatewayRoute& route : routes_) {
     if (route.from != from || route.match_id != frame.id) continue;
@@ -24,11 +32,18 @@ void Gateway::on_frame(Bus* from, const Frame& frame) {
     if (route.translated_payload > 0) out.payload_size = route.translated_payload;
     // Keep out.created: end-to-end latency accumulates across hops.
     Bus* to = route.to;
-    sim_->schedule_in(sim::Time::seconds(processing_delay_s_), [this, to, out]() mutable {
-      if (to->send(std::move(out)))
+    const sim::Time arrived = sim_->now();
+    sim_->schedule_in(sim::Time::seconds(processing_delay_s_),
+                      [this, to, out, arrived]() mutable {
+      const bool accepted = to->send(std::move(out));
+      if (accepted)
         ++forwarded_;
       else
         ++dropped_;
+      if (metrics_) {
+        metrics_->add(accepted ? forwarded_metric_ : dropped_metric_);
+        metrics_->observe(hop_latency_metric_, (sim_->now() - arrived).to_us());
+      }
     });
   }
 }

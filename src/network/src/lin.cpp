@@ -26,7 +26,7 @@ std::size_t LinBus::frame_bits(std::size_t payload_bytes) noexcept {
   return 34 + (payload_bytes + 1) * 10;
 }
 
-bool LinBus::send(Frame frame) {
+bool LinBus::do_send(Frame frame) {
   for (std::size_t i = 0; i < schedule_.size(); ++i) {
     if (schedule_[i].frame_id == frame.id) {
       if (frame.created == sim::Time{}) frame.created = simulator().now();

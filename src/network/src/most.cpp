@@ -24,7 +24,7 @@ std::size_t MostBus::async_bytes_per_frame() const noexcept {
   return frame_bytes_ - sync_bytes_ - overhead;
 }
 
-bool MostBus::send(Frame frame) {
+bool MostBus::do_send(Frame frame) {
   if (frame.created == sim::Time{}) frame.created = simulator().now();
   frame.sequence = next_sequence();
   const auto it = streams_.find(frame.id);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -75,6 +76,20 @@ class PowertrainSimulation {
   /// Advances one period toward \p target_speed_mps; returns the snapshot.
   PowertrainSnapshot step(double target_speed_mps);
 
+  /// Constrains the plant per a degradation mode: motor torque is clamped to
+  /// \p torque_fraction of the map's maximum and the driver's target speed
+  /// is capped at \p speed_limit_mps. Both apply until changed or cleared;
+  /// the DegradationManager's outputs plug in here.
+  void set_drive_limits(double torque_fraction, double speed_limit_mps);
+  /// Removes any degradation limits (service reset).
+  void clear_drive_limits() noexcept;
+  /// Torque limit currently in force (1.0 when unconstrained).
+  [[nodiscard]] double torque_limit_fraction() const noexcept {
+    return torque_limit_fraction_;
+  }
+  /// Speed limit currently in force [m/s] (infinity when unconstrained).
+  [[nodiscard]] double speed_limit_mps() const noexcept { return speed_limit_mps_; }
+
   /// Runs \p cycle to completion (or battery depletion); returns the ledger.
   CycleResult run_cycle(const DriveCycle& cycle);
 
@@ -110,6 +125,8 @@ class PowertrainSimulation {
   DcDcConverter aux_dcdc_;
   RangeEstimator range_;
   double time_s_ = 0.0;
+  double torque_limit_fraction_ = 1.0;
+  double speed_limit_mps_ = std::numeric_limits<double>::infinity();
   CycleResult ledger_;
   double speed_error_accum_ = 0.0;
   std::size_t steps_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "ev/util/math.h"
 #include "ev/util/units.h"
@@ -20,8 +21,19 @@ PowertrainSimulation::PowertrainSimulation(PowertrainConfig config)
   bms_ = std::make_unique<bms::BatteryManager>(*pack_, config_.bms);
 }
 
+void PowertrainSimulation::set_drive_limits(double torque_fraction, double speed_limit_mps) {
+  torque_limit_fraction_ = std::clamp(torque_fraction, 0.0, 1.0);
+  speed_limit_mps_ = std::max(speed_limit_mps, 0.0);
+}
+
+void PowertrainSimulation::clear_drive_limits() noexcept {
+  torque_limit_fraction_ = 1.0;
+  speed_limit_mps_ = std::numeric_limits<double>::infinity();
+}
+
 PowertrainSnapshot PowertrainSimulation::step(double target_speed_mps) {
   const double dt = config_.dt_s;
+  target_speed_mps = std::min(target_speed_mps, speed_limit_mps_);
   const bms::BmsReport& report = bms_->report();
 
   // --- Driver -> pedals ----------------------------------------------------
@@ -34,8 +46,8 @@ PowertrainSnapshot PowertrainSimulation::step(double target_speed_mps) {
   double regen_torque = 0.0;
 
   if (pedals.accelerator > 0.0) {
-    double torque_demand =
-        pedals.accelerator * motor_.clamp_torque(motor_.config().max_torque_nm, motor_speed);
+    double torque_demand = pedals.accelerator * torque_limit_fraction_ *
+                           motor_.clamp_torque(motor_.config().max_torque_nm, motor_speed);
     // Battery discharge power limit (from the BMS) caps the torque.
     const double limit_w = report.discharge_power_limit_w > 0.0
                                ? report.discharge_power_limit_w

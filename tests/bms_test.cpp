@@ -210,6 +210,34 @@ TEST(SafetyMonitor, LatchesAfterDebounce) {
   EXPECT_FALSE(mon.tripped());
 }
 
+TEST(SafetyMonitor, ResetClearsLatchesAndDebounceCounters) {
+  SafetyMonitor mon;
+  const std::vector<double> bad_v{4.5};
+  const std::vector<double> temps{25.0};
+  // Trip fully, then accumulate two fresh violating samples (half of a new
+  // debounce count) before the service reset.
+  for (int i = 0; i < 3; ++i) (void)mon.evaluate(bad_v, temps, 0.0);
+  ASSERT_TRUE(mon.tripped());
+  ASSERT_FALSE(mon.faults().empty());
+  (void)mon.evaluate(bad_v, temps, 0.0);
+  (void)mon.evaluate(bad_v, temps, 0.0);
+
+  mon.reset();
+  EXPECT_FALSE(mon.tripped());
+  EXPECT_TRUE(mon.faults().empty());
+
+  // The half-counted violation must NOT survive the reset: two more bad
+  // samples make only 2 of 3 debounce counts, so the monitor stays untripped.
+  (void)mon.evaluate(bad_v, temps, 0.0);
+  SafetyAction action = mon.evaluate(bad_v, temps, 0.0);
+  EXPECT_NE(action, SafetyAction::kOpenContactor);
+  EXPECT_FALSE(mon.tripped());
+  EXPECT_TRUE(mon.faults().empty());
+  // The third consecutive sample after reset re-latches normally.
+  action = mon.evaluate(bad_v, temps, 0.0);
+  EXPECT_EQ(action, SafetyAction::kOpenContactor);
+}
+
 TEST(SafetyMonitor, WarnsBeforeTripping) {
   SafetyMonitor mon;
   // Inside hard limits but within the warning margin.

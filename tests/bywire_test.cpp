@@ -93,6 +93,20 @@ TEST(Redundancy, EmptyRejected) {
   EXPECT_THROW(RedundantChannelSet({}, 0.0, 0.05), std::invalid_argument);
 }
 
+TEST(Redundancy, RandomFaultIndexOutOfRangeThrows) {
+  RedundantChannelSet set = make_identical_redundancy(3, 0.0, 0.0);
+  EXPECT_THROW(set.inject_random_fault(3), std::out_of_range);
+  EXPECT_THROW(set.inject_random_fault(1000), std::out_of_range);
+  // A failed injection must not have faulted anything.
+  ev::util::Rng rng(9);
+  const VoteResult r = set.actuate(0.5, rng);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.disagreeing, 0u);
+  // In-range indices still work.
+  set.inject_random_fault(2);
+  EXPECT_EQ(set.actuate(0.5, rng).disagreeing, 1u);
+}
+
 TEST(Redundancy, CountersAccumulate) {
   ev::util::Rng rng(6);
   RedundantChannelSet set = healthy_triplex();

@@ -609,6 +609,35 @@ TEST(Gateway, CountsDropsOnRejectingTarget) {
   EXPECT_EQ(gw.dropped_count(), 1u);
 }
 
+TEST(Gateway, ObserverCountsForwardsDropsAndHopLatency) {
+  Simulator sim;
+  ev::obs::MetricsRegistry metrics;
+  CanBus a(sim, "a", 500e3);
+  CanBus b(sim, "b", 500e3);
+  LinBus c(sim, "c", {{0x10, 1, 2}});
+  Gateway gw(sim, "gw", 150e-6);
+  gw.attach_observer(metrics);
+  gw.add_route({&a, 0x10, &b, 0x10, 0});
+  gw.add_route({&a, 0x20, &c, 0x42, 0});  // 0x42 has no LIN slot -> dropped
+  Frame ok;
+  ok.id = 0x10;
+  ok.payload_size = 8;
+  Frame doomed;
+  doomed.id = 0x20;
+  doomed.payload_size = 8;
+  ASSERT_TRUE(a.send(ok));
+  ASSERT_TRUE(a.send(doomed));
+  sim.run();
+  EXPECT_EQ(metrics.counter_value(metrics.counter("net.gw.gw.forwarded")), 1u);
+  EXPECT_EQ(metrics.counter_value(metrics.counter("net.gw.gw.dropped")), 1u);
+  // Per-hop processing latency: both frames were measured, and each hop
+  // took at least the 150 us processing delay.
+  const auto& stats = metrics.histogram_stats(
+      metrics.histogram("net.gw.gw.hop_latency_us", 0.0, 1e4, 64));
+  ASSERT_EQ(stats.count(), 2u);
+  EXPECT_GE(stats.min(), 150.0);
+}
+
 // ------------------------------------------------------------- topology ----
 
 TEST(Figure1, BuildsFiveBuses) {
