@@ -92,13 +92,13 @@ void monte_carlo_table() {
                          Design{"triplex diverse", 3, true},
                          Design{"5x diverse", 5, true}}) {
     int dangerous = 0, detected = 0, clean = 0;
-    for (int m = 0; m < kMissions; ++m) {
+    evbench::run_seeded_campaign(13, 977, kMissions, [&](std::uint64_t seed, int) {
       BrakeSystemConfig cfg;
       cfg.replicas = d.replicas;
       cfg.diverse = d.diverse;
       cfg.random_fault_rate = random_rate;
       cfg.systematic_fault_rate = systematic_rate;
-      ev::util::Rng rng(static_cast<std::uint64_t>(m) * 977 + 13);
+      ev::util::Rng rng(seed);
       const BrakeMissionReport r = simulate_brake_mission(cfg, kMissionHours, rng);
       if (r.wrong_output_cycles > 0)
         ++dangerous;
@@ -106,7 +106,7 @@ void monte_carlo_table() {
         ++detected;
       else
         ++clean;
-    }
+    });
     if (d.diverse && d.replicas == 3) {
       evbench::set_gauge("e15.triplex_diverse.dangerous_missions",
                          static_cast<double>(dangerous));

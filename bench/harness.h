@@ -72,6 +72,18 @@ inline void set_gauge(std::string_view name, double value) {
   metrics().set(metrics().gauge(name), value);
 }
 
+/// Runs \p body once per rung of a deterministic arithmetic seed ladder:
+/// seed_i = first + i * stride for i in [0, runs). This is the campaign
+/// shape every seed-averaged experiment table shares — a fixed run count
+/// with seeds derived only from the ladder, so the whole sweep is a pure
+/// function of (first, stride, runs). \p body receives (seed, run_index).
+template <typename Body>
+inline void run_seeded_campaign(std::uint64_t first, std::uint64_t stride, int runs,
+                                Body&& body) {
+  for (int i = 0; i < runs; ++i)
+    body(first + static_cast<std::uint64_t>(i) * stride, i);
+}
+
 /// Exports the metrics snapshot to BENCH_<experiment>.json (and the span
 /// trace to BENCH_<experiment>.trace.json when spans were recorded).
 /// EVSYS_BENCH_METRICS_DIR relocates the files; EVSYS_BENCH_METRICS=0

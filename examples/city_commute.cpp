@@ -4,39 +4,38 @@
 // the central gateway into the infotainment domain, where the range
 // information service answers the HMI.
 //
+// The whole stack is assembled by the composition root from a declarative
+// scenario: observability, health monitoring, and authenticated chassis
+// telemetry plug in as subsystems — the same wiring `evsys run
+// examples/scenarios/city_commute.scn` produces.
+//
 //   $ ./city_commute
 #include <cstdio>
 
-#include "ev/core/cosim.h"
-#include "ev/obs/export.h"
-#include "ev/obs/metrics.h"
-#include "ev/obs/sim_observer.h"
-#include "ev/powertrain/drive_cycle.h"
+#include "ev/config/scenario.h"
+#include "ev/core/scenario.h"
+#include "ev/core/subsystems.h"
 #include "ev/util/table.h"
 
 int main() {
   using namespace ev::core;
-  using ev::powertrain::DriveCycle;
 
-  VehicleSystemConfig config;
-  config.powertrain.bms.balancing = ev::bms::BalancingKind::kActive;
-  config.powertrain.seed = 7;
+  ev::config::ScenarioSpec spec;
+  spec.name = "city-commute";
+  spec.drive.cycle = ev::config::CycleKind::kUrban;
+  spec.drive.repeat = 2;
+  spec.bms.balancing = ev::config::Balancing::kActive;
+  spec.powertrain.seed = 7;
+  spec.subsystems.obs = true;
+  spec.subsystems.health = true;
+  spec.subsystems.security = true;
 
-  VehicleSystem vehicle(config);
-
-  // Observe the whole stack: kernel dispatch, every bus, and the cockpit
-  // middleware all report into one registry.
-  ev::obs::MetricsRegistry metrics;
-  ev::obs::SimObserver kernel_observer(metrics);
-  vehicle.simulator().set_observer(&kernel_observer);
-  for (auto* bus : vehicle.network().buses()) bus->attach_observer(metrics);
-  vehicle.cockpit().attach_observer(metrics);
-
-  const DriveCycle commute = DriveCycle::repeat(DriveCycle::urban(), 2);
   std::printf("Commuting %.1f km of stop-and-go under co-simulation...\n\n",
-              commute.ideal_distance_m() / 1000.0);
+              to_drive_cycle(spec).ideal_distance_m() / 1000.0);
 
-  const CoSimResult r = vehicle.run(commute);
+  std::unique_ptr<VehicleSystem> vehicle;
+  const ScenarioRunResult result = run_scenario(spec, &vehicle);
+  const CoSimResult& r = result.cosim;
 
   ev::util::Table drive("driving", {"metric", "value"});
   drive.add_row({"distance", ev::util::fmt(r.cycle.distance_km, 2) + " km"});
@@ -47,7 +46,7 @@ int main() {
 
   ev::util::Table net("in-vehicle network during the commute",
                       {"bus", "utilization", "frames", "mean latency"});
-  for (auto* bus : vehicle.network().buses()) {
+  for (auto* bus : vehicle->network().buses()) {
     net.add_row({bus->name(), ev::util::fmt_pct(bus->utilization(), 2),
                  std::to_string(bus->delivered_count()),
                  ev::util::fmt(bus->latency().mean() * 1e3, 3) + " ms"});
@@ -60,8 +59,15 @@ int main() {
   std::printf("Range service answered %zu HMI queries; final answer: %.0f km\n",
               r.range_service_calls, r.last_range_km);
 
+  auto* security = vehicle->find_subsystem<SecuritySubsystem>();
+  std::printf("Authenticated telemetry on the backbone: %llu frames protected, "
+              "%llu verified, %llu rejected\n",
+              static_cast<unsigned long long>(security->frames_protected()),
+              static_cast<unsigned long long>(security->frames_authenticated()),
+              static_cast<unsigned long long>(security->frames_rejected()));
+
   // Middleware health after the drive: all partitions still running.
-  auto& cockpit = vehicle.cockpit();
+  auto& cockpit = vehicle->cockpit();
   for (std::size_t p = 0; p < cockpit.partition_count(); ++p) {
     const auto& part = cockpit.partition(p);
     std::printf("Partition '%s': %llu jobs, %llu faults\n", part.name().c_str(),
@@ -69,10 +75,11 @@ int main() {
                 static_cast<unsigned long long>(part.fault_count()));
   }
 
+  auto* obs = vehicle->find_subsystem<ObservabilitySubsystem>();
   std::printf("\nKernel dispatched %llu events for the whole commute.\n",
-              static_cast<unsigned long long>(metrics.counter_value(
-                  metrics.counter("sim.events_dispatched"))));
-  if (ev::obs::write_metrics_json_file(metrics, "city_commute.json"))
-    std::printf("Full observability snapshot: city_commute.json\n");
+              static_cast<unsigned long long>(obs->metrics().counter_value(
+                  obs->metrics().counter("sim.events_dispatched"))));
+  if (obs->export_files("city_commute"))
+    std::printf("Full observability snapshot: city_commute.metrics.json\n");
   return 0;
 }

@@ -1,93 +1,66 @@
-// Limp-home walkthrough: a seeded FaultPlan injects a partition crash, a
-// noisy CAN segment, and finally a stuck BMS voltage sensor while the
-// vehicle drives an urban cycle. Each fault is caught by its regular
-// detector (heartbeat watchdog, network health watcher, debounced safety
-// monitor) and the DegradationManager steps the powertrain down —
+// Limp-home walkthrough: a seeded FaultPlan injects a cockpit partition
+// crash, two corruption bursts, and finally a bus-off on the safety CAN
+// while the vehicle drives an urban cycle. Each fault is caught by its
+// regular detector (heartbeat watchdog, network health watcher) and the
+// DegradationManager steps the powertrain down —
 // normal -> derated -> limp-home -> safe-stop — instead of cutting torque
 // on the first anomaly.
+//
+// The whole arrangement is declarative: the scenario spec below is the
+// in-code twin of examples/scenarios/limp_home.scn, and the composition
+// root wires plan, watcher, watchdog, and mode machine from it.
 //
 //   $ ./limp_home
 #include <cstdio>
 
-#include "ev/bms/battery_manager.h"
+#include "ev/config/scenario.h"
+#include "ev/core/scenario.h"
+#include "ev/core/subsystems.h"
 #include "ev/faults/degradation.h"
-#include "ev/faults/fault_plan.h"
-#include "ev/faults/network_faults.h"
-#include "ev/middleware/health.h"
-#include "ev/middleware/middleware.h"
-#include "ev/network/can.h"
-#include "ev/powertrain/simulation.h"
-#include "ev/sim/simulator.h"
 #include "ev/util/table.h"
 
 int main() {
-  using ev::faults::DegradationManager;
-  using ev::faults::DriveMode;
-  using ev::sim::Time;
+  using namespace ev::core;
 
-  ev::sim::Simulator sim;
-  DegradationManager deg(sim);
+  ev::config::ScenarioSpec spec;
+  spec.name = "limp-home";
+  spec.drive.cycle = ev::config::CycleKind::kUrban;
+  spec.drive.repeat = 1;
+  spec.powertrain.seed = 7;
+  spec.subsystems.obs = true;
+  spec.subsystems.faults = true;
+  spec.subsystems.health = true;
+  spec.fault_seed = 42;
+  using ev::config::FaultEventSpec;
+  using ev::config::FaultKind;
+  spec.faults = {
+      FaultEventSpec{2.0, FaultKind::kPartitionCrash, "information", 0.0},
+      FaultEventSpec{5.0, FaultKind::kBusCorrupt, "safety_can", 4.0},
+      FaultEventSpec{6.0, FaultKind::kBusCorrupt, "safety_can", 4.0},
+      FaultEventSpec{8.0, FaultKind::kBusOff, "safety_can", 0.05},
+  };
 
-  // The degraded modes constrain the real plant, not just a flag.
-  ev::powertrain::PowertrainSimulation plant;
-  deg.set_listener([&](DriveMode from, DriveMode to, const std::string& cause) {
-    plant.set_drive_limits(deg.torque_limit_fraction(), deg.speed_limit_mps());
-    std::printf("[%7.3f s] %s -> %s (%s)\n", sim.now().to_seconds(),
-                ev::faults::to_string(from).c_str(), ev::faults::to_string(to).c_str(),
-                cause.c_str());
-  });
+  std::puts("driving the urban cycle; injecting faults at t = 2 s, 5 s, 6 s, 8 s...\n");
 
-  // Middleware with a watchdog-guarded drive partition.
-  ev::middleware::Middleware mw(sim, "vcu", 10000);
-  const std::size_t p_drive = mw.create_partition("drive", 4000, 2);
-  ev::middleware::HealthMonitor health(sim, mw);
-  health.set_listener([&](std::size_t, ev::middleware::HealthEvent event, Time latency) {
-    if (event == ev::middleware::HealthEvent::kFailureDetected)
-      std::printf("[%7.3f s] watchdog: drive partition silent for %.1f ms\n",
-                  sim.now().to_seconds(), latency.to_seconds() * 1e3);
-    if (event == ev::middleware::HealthEvent::kRestart) deg.on_partition_restart();
-  });
-  health.start();
-  mw.start();
+  std::unique_ptr<VehicleSystem> vehicle;
+  const ScenarioRunResult result = run_scenario(spec, &vehicle);
 
-  // A watched CAN segment with periodic background traffic.
-  ev::network::CanBus can(sim, "body_can", 125e3);
-  sim.schedule_periodic(Time::us(300), Time::ms(10), [&] {
-    ev::network::Frame f;
-    f.id = 0x310;
-    f.source = 3;
-    (void)can.send(f);
-  });
-  ev::faults::NetworkHealthWatcher watcher(sim, deg, {5000, 0.5});
-  watcher.watch(can);
-  watcher.start();
+  auto* faults = vehicle->find_subsystem<FaultsSubsystem>();
+  auto* health = vehicle->find_subsystem<HealthSubsystem>();
 
-  // The plant and its BMS feed the mode machine every 100 ms.
-  sim.schedule_periodic(Time::ms(100), Time::ms(100), [&] {
-    (void)plant.step(14.0);  // urban target: 50 km/h
-    deg.on_bms(plant.bms().report().action);
-  });
+  for (const auto& change : faults->mode_changes())
+    std::printf("[%7.3f s] %s -> %s (%s)\n", change.t_s,
+                ev::faults::to_string(change.from).c_str(),
+                ev::faults::to_string(change.to).c_str(), change.cause.c_str());
 
-  // One seeded plan, three fault classes.
-  ev::faults::FaultPlan plan(42);
-  plan.set_degradation(&deg);
-  plan.add(Time::s(2), "partition crash",
-           [&] { mw.partition(p_drive).inject_crash(); });
-  plan.add(Time::s(5), "CAN corruption burst", [&] { can.inject_corruption(4); });
-  plan.add(Time::s(6), "CAN bus-off", [&] { can.inject_bus_off(Time::ms(20)); });
-  plan.arm(sim);
-
-  std::puts("driving; injecting faults at t = 2 s, 5 s, 6 s...\n");
-  sim.run_until(Time::s(12));
-
-  ev::util::Table summary("after 12 s", {"metric", "value"});
-  summary.add_row({"drive mode", ev::faults::to_string(deg.mode())});
-  summary.add_row({"vehicle speed", ev::util::fmt(plant.vehicle().speed_mps() * 3.6, 1) +
-                                        " km/h"});
-  summary.add_row({"torque limit", ev::util::fmt_pct(deg.torque_limit_fraction())});
-  summary.add_row({"partition restarts", std::to_string(health.restarts())});
-  summary.add_row({"bus fault episodes", std::to_string(watcher.faults_reported())});
-  summary.add_row({"faults injected", std::to_string(plan.injections().size())});
+  ev::util::Table summary("after the drive", {"metric", "value"});
+  summary.add_row({"drive mode", ev::faults::to_string(faults->degradation().mode())});
+  summary.add_row({"distance", ev::util::fmt(result.cosim.cycle.distance_km, 2) + " km"});
+  summary.add_row(
+      {"torque limit", ev::util::fmt_pct(faults->degradation().torque_limit_fraction())});
+  summary.add_row({"partition restarts", std::to_string(health->monitor().restarts())});
+  summary.add_row({"bus fault episodes", std::to_string(faults->watcher().faults_reported())});
+  summary.add_row({"faults injected", std::to_string(faults->plan().injections().size())});
   summary.print();
   return 0;
 }

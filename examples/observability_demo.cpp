@@ -1,103 +1,59 @@
-// Observability walk-through: attach the metric registry and span sink to
-// every layer of a small consolidated ECU — the event kernel, a partitioned
-// middleware with a typed pub/sub topic, and a CAN bus — run it, and export
-// the snapshot as JSON/CSV plus a Chrome about:tracing span file.
+// Observability walk-through: the ObservabilitySubsystem plugs one metric
+// registry and one span sink into every layer of the composed vehicle —
+// the event kernel, all five Fig. 1 buses, the central gateway, and the
+// partitioned cockpit middleware — then a short urban drive runs and the
+// snapshot is exported as JSON/CSV plus a Chrome about:tracing span file.
 //
 //   $ ./observability_demo
 //   $ # then open chrome://tracing and load observability_demo.trace.json
 #include <cstdio>
 
-#include "ev/middleware/middleware.h"
-#include "ev/network/can.h"
-#include "ev/obs/export.h"
-#include "ev/obs/metrics.h"
-#include "ev/obs/sim_observer.h"
-#include "ev/obs/span_trace.h"
-#include "ev/sim/simulator.h"
+#include "ev/config/scenario.h"
+#include "ev/core/scenario.h"
+#include "ev/core/subsystems.h"
 
 int main() {
-  using namespace ev;
+  using namespace ev::core;
 
-  sim::Simulator sim;
-  obs::MetricsRegistry metrics;
-  obs::TraceLog trace;
+  ev::config::ScenarioSpec spec;
+  spec.name = "observability-demo";
+  spec.drive.cycle = ev::config::CycleKind::kUrban;
+  spec.drive.repeat = 1;
+  spec.powertrain.seed = 3;
+  spec.subsystems.obs = true;
 
-  // --- kernel: event counts, dispatch-delay distribution, queue depth -------
-  obs::SimObserver kernel_observer(metrics);
-  sim.set_observer(&kernel_observer);
-  const sim::EventTag sensor_tag = kernel_observer.source("wheel_sensor");
+  std::unique_ptr<VehicleSystem> vehicle;
+  const ScenarioRunResult result = run_scenario(spec, &vehicle);
 
-  // --- network: frame counters, latency histogram, bus-load gauge -----------
-  network::CanBus can(sim, "body", 500e3);
-  can.attach_observer(metrics);
-  can.subscribe([](const network::Frame&, sim::Time) {});
+  auto* obs = vehicle->find_subsystem<ObservabilitySubsystem>();
+  auto& metrics = obs->metrics();
 
-  // --- middleware: per-partition budget gauges + partition-window spans -----
-  middleware::Middleware mw(sim, "cockpit", 10000);
-  mw.attach_observer(metrics, &trace);
-  const std::size_t ctrl = mw.create_partition("ctrl", 4000);
-  const std::size_t hmi = mw.create_partition("hmi", 3000);
-
-  // A typed topic carries wheel speed from ctrl to hmi — no hand-rolled
-  // byte packing, delivery at the deterministic window flush points.
-  middleware::Topic<double> wheel_speed(mw.broker(), 1);
-  double latest_kmh = 0.0;
-  wheel_speed.subscribe([&](const double& kmh) { latest_kmh = kmh; });
-
-  int ticks = 0;
-  mw.deploy(ctrl, middleware::Runnable{"speed-pub", 10000, 500, [&] {
-                                         wheel_speed.publish(30.0 + 0.5 * ++ticks,
-                                                             sim.now().to_us());
-                                         return middleware::RunOutcome::kOk;
-                                       }});
-  mw.deploy(hmi, middleware::Runnable{"hmi-refresh", 20000, 1000, [] {
-                                        return middleware::RunOutcome::kOk;
-                                      }});
-  mw.start();
-
-  // Tagged sensor traffic on the CAN bus every 5 ms.
-  sim.schedule_periodic(
-      sim::Time::ms(5), sim::Time::ms(5),
-      [&] {
-        network::Frame f;
-        f.id = 0x123;
-        f.payload_size = 8;
-        (void)can.send(f);
-      },
-      sensor_tag);
-
-  sim.run_until(sim::Time::s(1));
-
-  std::printf("1 s of simulated operation — selected metrics:\n");
+  std::printf("one urban cycle (%.1f s simulated) — selected metrics:\n",
+              result.cosim.cycle.duration_s);
   std::printf("  sim.events_dispatched    %llu\n",
               static_cast<unsigned long long>(metrics.counter_value(
                   metrics.counter("sim.events_dispatched"))));
-  std::printf("  sim.dispatched.wheel_sensor  %llu\n",
+  for (auto* bus : vehicle->network().buses()) {
+    const std::string prefix = "net." + bus->name();
+    std::printf("  %-24s %llu frames, %.2f%% load\n", bus->name().c_str(),
+                static_cast<unsigned long long>(
+                    metrics.counter_value(metrics.counter(prefix + ".frames"))),
+                100.0 * metrics.gauge_value(metrics.gauge(prefix + ".utilization")));
+  }
+  std::printf("  mw.cockpit-controller.frames  %llu\n",
               static_cast<unsigned long long>(metrics.counter_value(
-                  metrics.counter("sim.dispatched.wheel_sensor"))));
-  std::printf("  net.body.frames          %llu\n",
-              static_cast<unsigned long long>(
-                  metrics.counter_value(metrics.counter("net.body.frames"))));
-  std::printf("  net.body.utilization     %.4f\n",
-              metrics.gauge_value(metrics.gauge("net.body.utilization")));
-  std::printf("  mw.cockpit.frames        %llu\n",
-              static_cast<unsigned long long>(
-                  metrics.counter_value(metrics.counter("mw.cockpit.frames"))));
-  std::printf("  mw.cockpit.ctrl.budget_util  %.3f\n",
-              metrics.gauge_value(metrics.gauge("mw.cockpit.ctrl.budget_util")));
-  std::printf("  mw.cockpit.pubsub.delivered  %llu\n",
-              static_cast<unsigned long long>(metrics.counter_value(
-                  metrics.counter("mw.cockpit.pubsub.delivered"))));
-  std::printf("  last wheel speed at HMI  %.1f km/h\n", latest_kmh);
-  std::printf("  partition spans recorded %zu\n", trace.spans().size());
+                  metrics.counter("mw.cockpit-controller.frames"))));
+  std::printf("  information partition jobs    %llu\n",
+              static_cast<unsigned long long>(metrics.counter_value(metrics.counter(
+                  "mw.cockpit-controller.information.jobs_completed"))));
+  std::printf("  information budget util  %.3f\n",
+              metrics.gauge_value(
+                  metrics.gauge("mw.cockpit-controller.information.budget_util")));
+  std::printf("  partition spans recorded %zu\n", obs->trace().spans().size());
 
-  const bool json_ok =
-      obs::write_metrics_json_file(metrics, "observability_demo.json");
-  const bool csv_ok = obs::write_metrics_csv_file(metrics, "observability_demo.csv");
-  const bool trace_ok =
-      obs::write_chrome_trace_file(trace, "observability_demo.trace.json");
-  std::printf("\nexports: metrics json %s, metrics csv %s, chrome trace %s\n",
-              json_ok ? "ok" : "FAILED", csv_ok ? "ok" : "FAILED",
-              trace_ok ? "ok" : "FAILED");
-  return json_ok && csv_ok && trace_ok ? 0 : 1;
+  const bool ok = obs->export_files("observability_demo");
+  std::printf("\nexports: observability_demo.metrics.{json,csv} + "
+              "observability_demo.trace.json %s\n",
+              ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,163 @@
+/// \file scenario.h
+/// Declarative whole-vehicle scenario descriptions. A ScenarioSpec is the
+/// single source of truth for one co-simulated experiment: battery pack,
+/// BMS policy, powertrain, the Fig. 1 network, co-simulation timing, the
+/// seeded fault plan, and which pluggable subsystems are enabled. The spec
+/// is plain data — this module depends on nothing but the standard library
+/// — and round-trips losslessly through a line-based `key = value` text
+/// format, so scenarios can live in version control and two runs of the
+/// same file are the same experiment by construction. `core` turns a spec
+/// into a running VehicleSystem; the `evsys` CLI binds the two together.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev::config {
+
+/// Drive-cycle selector (mirrors powertrain::DriveCycle's built-in library
+/// without depending on it).
+enum class CycleKind : std::uint8_t { kUrban, kHighway, kSuburban };
+
+/// BMS balancing policy selector (mirrors bms::BalancingKind).
+enum class Balancing : std::uint8_t { kNone, kPassive, kActive };
+
+/// One planned fault injection. `target` names a Fig. 1 bus
+/// (`body_lin`, `comfort_can`, `infotainment_most`, `safety_can`,
+/// `chassis_flexray`), a cockpit partition, or — for sensor faults — a
+/// global cell index rendered as a decimal string.
+enum class FaultKind : std::uint8_t {
+  kBusDrop,         ///< Drop the next `value` frames on the target bus.
+  kBusCorrupt,      ///< Corrupt the next `value` frame payloads.
+  kBusOff,          ///< Take the bus offline for `value` seconds.
+  kBusBabble,       ///< Babbling idiot on the bus for `value` seconds.
+  kPartitionCrash,  ///< Crash the named cockpit partition.
+  kPartitionHang,   ///< Hang the named partition for `value` major frames.
+  kSensorStuck,     ///< Stick cell `target`'s voltage sensor at `value` V.
+};
+
+struct FaultEventSpec {
+  double at_s = 0.0;     ///< Injection time [s] on the simulation clock.
+  FaultKind kind = FaultKind::kBusDrop;
+  std::string target;    ///< Bus name, partition name, or cell index.
+  double value = 0.0;    ///< Kind-specific magnitude (see FaultKind).
+
+  friend bool operator==(const FaultEventSpec&, const FaultEventSpec&) = default;
+};
+
+/// Battery pack description (the subset of battery::PackConfig an
+/// experiment varies; everything else keeps the plant defaults).
+struct PackSpec {
+  std::uint64_t module_count = 8;
+  std::uint64_t cells_per_module = 12;
+  double initial_soc = 0.9;
+  double soc_spread_sigma = 0.015;
+  bool lfp_chemistry = false;
+
+  friend bool operator==(const PackSpec&, const PackSpec&) = default;
+};
+
+/// BMS policy description.
+struct BmsSpec {
+  Balancing balancing = Balancing::kPassive;
+  double initial_soc_estimate = 0.9;
+
+  friend bool operator==(const BmsSpec&, const BmsSpec&) = default;
+};
+
+/// Powertrain knobs.
+struct PowertrainSpec {
+  std::uint64_t seed = 1;        ///< Reproducibility seed for the plant.
+  double aux_power_w = 450.0;    ///< Constant 12 V auxiliary load.
+
+  friend bool operator==(const PowertrainSpec&, const PowertrainSpec&) = default;
+};
+
+/// Fig. 1 network scaling knobs (mirrors network::Figure1Config).
+struct NetworkSpec {
+  double load_scale = 1.0;
+  double can_bit_rate = 500e3;
+  double lin_bit_rate = 19200.0;
+  double flexray_bit_rate = 10e6;
+
+  friend bool operator==(const NetworkSpec&, const NetworkSpec&) = default;
+};
+
+/// Co-simulation timing (mirrors core::VehicleSystemConfig periods).
+struct TimingSpec {
+  double control_period_s = 0.1;
+  double bms_publish_period_s = 0.1;
+  std::int64_t middleware_frame_us = 20000;
+
+  friend bool operator==(const TimingSpec&, const TimingSpec&) = default;
+};
+
+/// Which pluggable subsystems the composition root attaches.
+struct SubsystemsSpec {
+  bool obs = true;        ///< Metrics registry + kernel/bus/middleware observers.
+  bool faults = false;    ///< FaultPlan + health watcher + degradation manager.
+  bool health = false;    ///< Middleware heartbeat watchdog.
+  bool security = false;  ///< Authenticated telemetry frames on the chassis bus.
+
+  friend bool operator==(const SubsystemsSpec&, const SubsystemsSpec&) = default;
+};
+
+/// The drive mission.
+struct DriveSpec {
+  CycleKind cycle = CycleKind::kUrban;
+  std::uint64_t repeat = 1;  ///< Cycle repetitions driven back to back.
+
+  friend bool operator==(const DriveSpec&, const DriveSpec&) = default;
+};
+
+/// One complete declarative scenario.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  DriveSpec drive;
+  PackSpec pack;
+  BmsSpec bms;
+  PowertrainSpec powertrain;
+  NetworkSpec network;
+  TimingSpec timing;
+  SubsystemsSpec subsystems;
+  std::uint64_t fault_seed = 1;        ///< Seed of the FaultPlan RNG.
+  std::vector<FaultEventSpec> faults;  ///< Planned injections (may be empty).
+
+  /// Throws std::invalid_argument naming the first violated constraint:
+  /// positive periods/rates/counts, SoC values in [0, 1], non-negative
+  /// injection times, targets present where the kind needs one.
+  void validate() const;
+
+  /// Renders every field as one `key = value` line (doubles in shortest
+  /// round-trippable form). from_text(to_text(s)) == s for any valid spec.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the to_text() format: `#` comments and blank lines ignored,
+  /// unknown keys rejected, missing keys keep their defaults. Throws
+  /// std::invalid_argument with the offending line on any malformed input,
+  /// and validate()s the result before returning it.
+  [[nodiscard]] static ScenarioSpec from_text(const std::string& text);
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Enum names as they appear in scenario text.
+[[nodiscard]] std::string to_string(CycleKind kind);
+[[nodiscard]] std::string to_string(Balancing balancing);
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// Reads and parses a scenario file. Throws std::invalid_argument when the
+/// file cannot be read or fails to parse.
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Writes spec.to_text() to \p path; returns false when the file cannot be
+/// opened.
+bool save_scenario_file(const ScenarioSpec& spec, const std::string& path);
+
+/// Shortest decimal form of \p value that parses back to the same double —
+/// the deterministic number format of scenario text (and of every exporter
+/// fed from it).
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace ev::config

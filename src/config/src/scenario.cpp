@@ -1,0 +1,315 @@
+#include "ev/config/scenario.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ev::config {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+
+// --- enum <-> text ----------------------------------------------------------
+
+CycleKind parse_cycle(const std::string& s) {
+  if (s == "urban") return CycleKind::kUrban;
+  if (s == "highway") return CycleKind::kHighway;
+  if (s == "suburban") return CycleKind::kSuburban;
+  fail("scenario: unknown drive cycle '" + s + "'");
+}
+
+Balancing parse_balancing(const std::string& s) {
+  if (s == "none") return Balancing::kNone;
+  if (s == "passive") return Balancing::kPassive;
+  if (s == "active") return Balancing::kActive;
+  fail("scenario: unknown balancing policy '" + s + "'");
+}
+
+FaultKind parse_fault_kind(const std::string& s) {
+  if (s == "bus.drop") return FaultKind::kBusDrop;
+  if (s == "bus.corrupt") return FaultKind::kBusCorrupt;
+  if (s == "bus.off") return FaultKind::kBusOff;
+  if (s == "bus.babble") return FaultKind::kBusBabble;
+  if (s == "partition.crash") return FaultKind::kPartitionCrash;
+  if (s == "partition.hang") return FaultKind::kPartitionHang;
+  if (s == "bms.stuck_voltage") return FaultKind::kSensorStuck;
+  fail("scenario: unknown fault kind '" + s + "'");
+}
+
+// --- scalar parsing ---------------------------------------------------------
+
+double parse_double(const std::string& s, const std::string& key) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    fail("scenario: '" + key + "' expects a number, got '" + s + "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s.front() == '-')
+    fail("scenario: '" + key + "' expects a non-negative integer, got '" + s + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t parse_i64(const std::string& s, const std::string& key) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    fail("scenario: '" + key + "' expects an integer, got '" + s + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+bool parse_bool(const std::string& s, const std::string& key) {
+  if (s == "true") return true;
+  if (s == "false") return false;
+  fail("scenario: '" + key + "' expects true or false, got '" + s + "'");
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string to_string(CycleKind kind) {
+  switch (kind) {
+    case CycleKind::kUrban: return "urban";
+    case CycleKind::kHighway: return "highway";
+    case CycleKind::kSuburban: return "suburban";
+  }
+  return "urban";
+}
+
+std::string to_string(Balancing balancing) {
+  switch (balancing) {
+    case Balancing::kNone: return "none";
+    case Balancing::kPassive: return "passive";
+    case Balancing::kActive: return "active";
+  }
+  return "passive";
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBusDrop: return "bus.drop";
+    case FaultKind::kBusCorrupt: return "bus.corrupt";
+    case FaultKind::kBusOff: return "bus.off";
+    case FaultKind::kBusBabble: return "bus.babble";
+    case FaultKind::kPartitionCrash: return "partition.crash";
+    case FaultKind::kPartitionHang: return "partition.hang";
+    case FaultKind::kSensorStuck: return "bms.stuck_voltage";
+  }
+  return "bus.drop";
+}
+
+void ScenarioSpec::validate() const {
+  if (name.empty()) fail("scenario: name must not be empty");
+  if (name.find_first_of(" \t\n=") != std::string::npos)
+    fail("scenario: name must not contain whitespace or '='");
+  if (drive.repeat == 0) fail("scenario: drive.repeat must be >= 1");
+  if (pack.module_count == 0) fail("scenario: pack.module_count must be positive");
+  if (pack.cells_per_module == 0)
+    fail("scenario: pack.cells_per_module must be positive");
+  if (pack.initial_soc < 0.0 || pack.initial_soc > 1.0)
+    fail("scenario: pack.initial_soc must lie in [0, 1]");
+  if (pack.soc_spread_sigma < 0.0)
+    fail("scenario: pack.soc_spread_sigma must be non-negative");
+  if (bms.initial_soc_estimate < 0.0 || bms.initial_soc_estimate > 1.0)
+    fail("scenario: bms.initial_soc_estimate must lie in [0, 1]");
+  if (powertrain.aux_power_w < 0.0)
+    fail("scenario: powertrain.aux_power_w must be non-negative");
+  if (network.load_scale <= 0.0) fail("scenario: network.load_scale must be positive");
+  if (network.can_bit_rate <= 0.0 || network.lin_bit_rate <= 0.0 ||
+      network.flexray_bit_rate <= 0.0)
+    fail("scenario: network bit rates must be positive");
+  if (timing.control_period_s <= 0.0)
+    fail("scenario: timing.control_period_s must be positive");
+  if (timing.bms_publish_period_s <= 0.0)
+    fail("scenario: timing.bms_publish_period_s must be positive");
+  if (timing.middleware_frame_us <= 0)
+    fail("scenario: timing.middleware_frame_us must be positive");
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultEventSpec& f = faults[i];
+    const std::string at = "fault." + std::to_string(i);
+    if (f.at_s < 0.0) fail("scenario: " + at + " time must be non-negative");
+    if (f.target.empty()) fail("scenario: " + at + " needs a target");
+    if (f.target.find_first_of(" \t") != std::string::npos)
+      fail("scenario: " + at + " target must not contain whitespace");
+    if ((f.kind == FaultKind::kBusDrop || f.kind == FaultKind::kBusCorrupt ||
+         f.kind == FaultKind::kPartitionHang) &&
+        f.value < 1.0)
+      fail("scenario: " + at + " needs a count >= 1");
+    if ((f.kind == FaultKind::kBusOff || f.kind == FaultKind::kBusBabble) &&
+        f.value <= 0.0)
+      fail("scenario: " + at + " needs a positive duration");
+  }
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream out;
+  out << "# evsys scenario\n";
+  out << "scenario.name = " << name << "\n";
+  out << "drive.cycle = " << to_string(drive.cycle) << "\n";
+  out << "drive.repeat = " << drive.repeat << "\n";
+  out << "pack.module_count = " << pack.module_count << "\n";
+  out << "pack.cells_per_module = " << pack.cells_per_module << "\n";
+  out << "pack.initial_soc = " << format_double(pack.initial_soc) << "\n";
+  out << "pack.soc_spread_sigma = " << format_double(pack.soc_spread_sigma) << "\n";
+  out << "pack.lfp_chemistry = " << (pack.lfp_chemistry ? "true" : "false") << "\n";
+  out << "bms.balancing = " << to_string(bms.balancing) << "\n";
+  out << "bms.initial_soc_estimate = " << format_double(bms.initial_soc_estimate)
+      << "\n";
+  out << "powertrain.seed = " << powertrain.seed << "\n";
+  out << "powertrain.aux_power_w = " << format_double(powertrain.aux_power_w) << "\n";
+  out << "network.load_scale = " << format_double(network.load_scale) << "\n";
+  out << "network.can_bit_rate = " << format_double(network.can_bit_rate) << "\n";
+  out << "network.lin_bit_rate = " << format_double(network.lin_bit_rate) << "\n";
+  out << "network.flexray_bit_rate = " << format_double(network.flexray_bit_rate)
+      << "\n";
+  out << "timing.control_period_s = " << format_double(timing.control_period_s) << "\n";
+  out << "timing.bms_publish_period_s = " << format_double(timing.bms_publish_period_s)
+      << "\n";
+  out << "timing.middleware_frame_us = " << timing.middleware_frame_us << "\n";
+  out << "subsystems.obs = " << (subsystems.obs ? "true" : "false") << "\n";
+  out << "subsystems.faults = " << (subsystems.faults ? "true" : "false") << "\n";
+  out << "subsystems.health = " << (subsystems.health ? "true" : "false") << "\n";
+  out << "subsystems.security = " << (subsystems.security ? "true" : "false") << "\n";
+  out << "faults.seed = " << fault_seed << "\n";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultEventSpec& f = faults[i];
+    out << "fault." << i << " = " << format_double(f.at_s) << " "
+        << to_string(f.kind) << " " << f.target << " " << format_double(f.value)
+        << "\n";
+  }
+  return out.str();
+}
+
+ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t next_fault = 0;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos)
+      fail("scenario: expected 'key = value', got '" + stripped + "'");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty() || value.empty())
+      fail("scenario: empty key or value in '" + stripped + "'");
+
+    if (key == "scenario.name") {
+      spec.name = value;
+    } else if (key == "drive.cycle") {
+      spec.drive.cycle = parse_cycle(value);
+    } else if (key == "drive.repeat") {
+      spec.drive.repeat = parse_u64(value, key);
+    } else if (key == "pack.module_count") {
+      spec.pack.module_count = parse_u64(value, key);
+    } else if (key == "pack.cells_per_module") {
+      spec.pack.cells_per_module = parse_u64(value, key);
+    } else if (key == "pack.initial_soc") {
+      spec.pack.initial_soc = parse_double(value, key);
+    } else if (key == "pack.soc_spread_sigma") {
+      spec.pack.soc_spread_sigma = parse_double(value, key);
+    } else if (key == "pack.lfp_chemistry") {
+      spec.pack.lfp_chemistry = parse_bool(value, key);
+    } else if (key == "bms.balancing") {
+      spec.bms.balancing = parse_balancing(value);
+    } else if (key == "bms.initial_soc_estimate") {
+      spec.bms.initial_soc_estimate = parse_double(value, key);
+    } else if (key == "powertrain.seed") {
+      spec.powertrain.seed = parse_u64(value, key);
+    } else if (key == "powertrain.aux_power_w") {
+      spec.powertrain.aux_power_w = parse_double(value, key);
+    } else if (key == "network.load_scale") {
+      spec.network.load_scale = parse_double(value, key);
+    } else if (key == "network.can_bit_rate") {
+      spec.network.can_bit_rate = parse_double(value, key);
+    } else if (key == "network.lin_bit_rate") {
+      spec.network.lin_bit_rate = parse_double(value, key);
+    } else if (key == "network.flexray_bit_rate") {
+      spec.network.flexray_bit_rate = parse_double(value, key);
+    } else if (key == "timing.control_period_s") {
+      spec.timing.control_period_s = parse_double(value, key);
+    } else if (key == "timing.bms_publish_period_s") {
+      spec.timing.bms_publish_period_s = parse_double(value, key);
+    } else if (key == "timing.middleware_frame_us") {
+      spec.timing.middleware_frame_us = parse_i64(value, key);
+    } else if (key == "subsystems.obs") {
+      spec.subsystems.obs = parse_bool(value, key);
+    } else if (key == "subsystems.faults") {
+      spec.subsystems.faults = parse_bool(value, key);
+    } else if (key == "subsystems.health") {
+      spec.subsystems.health = parse_bool(value, key);
+    } else if (key == "subsystems.security") {
+      spec.subsystems.security = parse_bool(value, key);
+    } else if (key == "faults.seed") {
+      spec.fault_seed = parse_u64(value, key);
+    } else if (key.rfind("fault.", 0) == 0) {
+      const std::uint64_t index = parse_u64(key.substr(6), key);
+      if (index != next_fault)
+        fail("scenario: fault entries must be numbered consecutively from 0; got '" +
+             key + "'");
+      const std::vector<std::string> fields = split_ws(value);
+      if (fields.size() != 4)
+        fail("scenario: '" + key + "' expects '<at_s> <kind> <target> <value>'");
+      FaultEventSpec f;
+      f.at_s = parse_double(fields[0], key);
+      f.kind = parse_fault_kind(fields[1]);
+      f.target = fields[2];
+      f.value = parse_double(fields[3], key);
+      spec.faults.push_back(std::move(f));
+      ++next_fault;
+    } else {
+      fail("scenario: unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("scenario: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ScenarioSpec::from_text(buf.str());
+}
+
+bool save_scenario_file(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << spec.to_text();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ev::config

@@ -5,10 +5,16 @@
 /// flows over the chassis FlexRay through the central gateway into the
 /// infotainment domain, and the range information system is served through
 /// the SOA registry — the paper's architecture, end to end and executable.
+/// VehicleSystem is the composition root: cross-cutting capabilities
+/// (observability, fault injection + degradation, health monitoring,
+/// authenticated telemetry) plug in as Subsystem adapters instead of being
+/// hand-wired by every experiment.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "ev/core/subsystem.h"
 #include "ev/middleware/middleware.h"
 #include "ev/network/topology.h"
 #include "ev/powertrain/simulation.h"
@@ -33,23 +39,49 @@ struct CoSimResult {
   double bms_to_hmi_latency_ms = 0.0;     ///< Mean cross-domain latency.
   std::size_t range_service_calls = 0;    ///< SOA calls served.
   double last_range_km = 0.0;             ///< Final remaining-range answer.
+  /// One section per attached subsystem, in attachment order.
+  std::vector<SubsystemSnapshot> subsystems;
 };
 
 /// The bound system.
 class VehicleSystem {
  public:
+  /// Validates the timing configuration: non-positive control_period_s,
+  /// bms_publish_period_s, or middleware_frame_us throw
+  /// std::invalid_argument before anything is built.
   explicit VehicleSystem(VehicleSystemConfig config = {});
 
-  /// Drives \p cycle to completion under co-simulation.
+  /// Hands \p subsystem to the vehicle and binds it (Subsystem::attach) in
+  /// attachment order. Call before run(); subsystems that look each other
+  /// up (health -> faults' degradation manager) resolve against everything
+  /// attached earlier. Returns the attached subsystem for direct access.
+  Subsystem& attach(std::unique_ptr<Subsystem> subsystem);
+
+  /// First attached subsystem of dynamic type T, or nullptr.
+  template <typename T>
+  [[nodiscard]] T* find_subsystem() noexcept {
+    for (const auto& s : subsystems_)
+      if (auto* typed = dynamic_cast<T*>(s.get())) return typed;
+    return nullptr;
+  }
+
+  /// Drives \p cycle to completion under co-simulation. Builds the cockpit
+  /// application, runs every attached subsystem's before_run/after_run
+  /// around the drive, and snapshots each into the result. One drive per
+  /// VehicleSystem: construct a fresh system for the next run.
   CoSimResult run(const powertrain::DriveCycle& cycle);
 
   /// Component access (after or between runs).
   [[nodiscard]] const powertrain::PowertrainSimulation& powertrain() const noexcept {
     return *powertrain_;
   }
+  [[nodiscard]] powertrain::PowertrainSimulation& powertrain() noexcept {
+    return *powertrain_;
+  }
   [[nodiscard]] network::Figure1Network& network() noexcept { return *network_; }
   [[nodiscard]] middleware::Middleware& cockpit() noexcept { return *cockpit_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const VehicleSystemConfig& config() const noexcept { return config_; }
 
  private:
   VehicleSystemConfig config_;
@@ -57,6 +89,7 @@ class VehicleSystem {
   std::unique_ptr<powertrain::PowertrainSimulation> powertrain_;
   std::unique_ptr<network::Figure1Network> network_;
   std::unique_ptr<middleware::Middleware> cockpit_;
+  std::vector<std::unique_ptr<Subsystem>> subsystems_;
 };
 
 }  // namespace ev::core

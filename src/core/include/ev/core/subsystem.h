@@ -1,0 +1,61 @@
+/// \file subsystem.h
+/// The pluggable-subsystem interface of the composition root. A Subsystem
+/// is one cross-cutting capability — observability, fault injection +
+/// degradation, middleware health monitoring, authenticated telemetry —
+/// packaged so VehicleSystem can bind it into the co-simulation without the
+/// experiment hand-wiring listeners across layers. Lifecycle: attach() once
+/// when the subsystem is handed to the vehicle (the plant, network, and
+/// cockpit middleware exist; cockpit partitions do not yet), before_run()
+/// when run() has created the cockpit application and is about to start the
+/// clock, and after_run() once the drive completed, to contribute a named
+/// section of deterministic key/value results to the CoSimResult.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ev::core {
+
+class VehicleSystem;
+
+/// One subsystem's contribution to a run's result: insertion-ordered
+/// key/value pairs, all derived from simulation state so same-seed runs
+/// snapshot identical values.
+struct SubsystemSnapshot {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+
+  void set(std::string key, double value) {
+    values.emplace_back(std::move(key), value);
+  }
+};
+
+/// Base class for pluggable vehicle subsystems.
+class Subsystem {
+ public:
+  virtual ~Subsystem() = default;
+
+  /// Stable name, used as the snapshot section and for lookups in reports.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Binds to the constructed vehicle: simulator observer hooks, bus
+  /// subscriptions, degradation wiring into the plant. Called exactly once,
+  /// from VehicleSystem::attach(), in attachment order.
+  virtual void attach(VehicleSystem& vehicle) = 0;
+
+  /// Called by VehicleSystem::run() after the cockpit application exists
+  /// and before the simulation clock starts: arm fault plans, start
+  /// watchdogs and watchers.
+  virtual void before_run(VehicleSystem& vehicle) { (void)vehicle; }
+
+  /// Called by VehicleSystem::run() after the drive completed. Fill \p out
+  /// with this subsystem's result section (out.name is pre-set).
+  virtual void after_run(VehicleSystem& vehicle, SubsystemSnapshot& out) {
+    (void)vehicle;
+    (void)out;
+  }
+};
+
+}  // namespace ev::core

@@ -1,16 +1,31 @@
 #include "ev/core/cosim.h"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace ev::core {
 
 VehicleSystem::VehicleSystem(VehicleSystemConfig config) : config_(std::move(config)) {
+  if (config_.control_period_s <= 0.0)
+    throw std::invalid_argument("VehicleSystemConfig: control_period_s must be positive");
+  if (config_.bms_publish_period_s <= 0.0)
+    throw std::invalid_argument(
+        "VehicleSystemConfig: bms_publish_period_s must be positive");
+  if (config_.middleware_frame_us <= 0)
+    throw std::invalid_argument(
+        "VehicleSystemConfig: middleware_frame_us must be positive");
   config_.network.synthetic_bms_source = false;  // the real BMS publishes instead
   config_.powertrain.dt_s = config_.control_period_s;
   powertrain_ = std::make_unique<powertrain::PowertrainSimulation>(config_.powertrain);
   network_ = std::make_unique<network::Figure1Network>(sim_, config_.network);
   cockpit_ = std::make_unique<middleware::Middleware>(sim_, "cockpit-controller",
                                                       config_.middleware_frame_us);
+}
+
+Subsystem& VehicleSystem::attach(std::unique_ptr<Subsystem> subsystem) {
+  subsystems_.push_back(std::move(subsystem));
+  subsystems_.back()->attach(*this);
+  return *subsystems_.back();
 }
 
 CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
@@ -75,6 +90,9 @@ CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
       });
 
   // --- Periodic processes ------------------------------------------------------
+  // The cockpit application exists; let every subsystem arm itself (fault
+  // plans, watchdogs, watchers) before the clock starts.
+  for (const auto& s : subsystems_) s->before_run(*this);
   network_->start();
   cockpit_->start();
 
@@ -127,6 +145,12 @@ CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
   result.bms_to_hmi_latency_ms = bms_at_hmi > 0 ? latency_sum_ms / static_cast<double>(bms_at_hmi) : 0.0;
   result.range_service_calls = range_calls;
   result.last_range_km = last_range_km;
+  for (const auto& s : subsystems_) {
+    SubsystemSnapshot snap;
+    snap.name = std::string(s->name());
+    s->after_run(*this, snap);
+    result.subsystems.push_back(std::move(snap));
+  }
   return result;
 }
 

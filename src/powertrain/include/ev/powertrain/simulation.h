@@ -102,6 +102,9 @@ class PowertrainSimulation {
   [[nodiscard]] const battery::Pack& pack() const noexcept { return *pack_; }
   /// Access to the BMS.
   [[nodiscard]] const bms::BatteryManager& bms() const noexcept { return *bms_; }
+  /// Mutable BMS access for fault injection (sensor stuck-at/drift/dropout
+  /// reach the module managers through here).
+  [[nodiscard]] bms::BatteryManager& bms() noexcept { return *bms_; }
   /// Access to the vehicle state.
   [[nodiscard]] const VehicleDynamics& vehicle() const noexcept { return vehicle_; }
   /// Access to the range estimator (information-system feed).

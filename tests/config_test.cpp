@@ -1,0 +1,211 @@
+// Unit tests for the dependency-free scenario description: text round
+// trips, parser diagnostics, validation, and the deterministic number
+// format every exporter shares.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "ev/config/scenario.h"
+
+namespace {
+
+using namespace ev::config;
+
+ScenarioSpec fully_loaded_spec() {
+  ScenarioSpec spec;
+  spec.name = "kitchen-sink";
+  spec.drive.cycle = CycleKind::kHighway;
+  spec.drive.repeat = 3;
+  spec.pack.module_count = 6;
+  spec.pack.cells_per_module = 10;
+  spec.pack.initial_soc = 0.8125;
+  spec.pack.soc_spread_sigma = 0.021;
+  spec.pack.lfp_chemistry = true;
+  spec.bms.balancing = Balancing::kActive;
+  spec.bms.initial_soc_estimate = 0.75;
+  spec.powertrain.seed = 12345;
+  spec.powertrain.aux_power_w = 612.5;
+  spec.network.load_scale = 1.5;
+  spec.network.can_bit_rate = 250e3;
+  spec.network.lin_bit_rate = 9600.0;
+  spec.network.flexray_bit_rate = 5e6;
+  spec.timing.control_period_s = 0.05;
+  spec.timing.bms_publish_period_s = 0.2;
+  spec.timing.middleware_frame_us = 10000;
+  spec.subsystems.obs = false;
+  spec.subsystems.faults = true;
+  spec.subsystems.health = true;
+  spec.subsystems.security = true;
+  spec.fault_seed = 99;
+  spec.faults = {
+      FaultEventSpec{1.25, FaultKind::kBusDrop, "safety_can", 5.0},
+      FaultEventSpec{2.0, FaultKind::kBusCorrupt, "comfort_can", 3.0},
+      FaultEventSpec{3.5, FaultKind::kBusOff, "safety_can", 0.02},
+      FaultEventSpec{4.0, FaultKind::kBusBabble, "body_lin", 0.5},
+      FaultEventSpec{5.0, FaultKind::kPartitionCrash, "information", 0.0},
+      FaultEventSpec{6.0, FaultKind::kPartitionHang, "hmi", 4.0},
+      FaultEventSpec{7.0, FaultKind::kSensorStuck, "17", 5.5},
+  };
+  return spec;
+}
+
+// ------------------------------------------------------------ round trip ----
+
+TEST(ScenarioText, DefaultSpecRoundTrips) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+}
+
+TEST(ScenarioText, FullyLoadedSpecRoundTrips) {
+  const ScenarioSpec spec = fully_loaded_spec();
+  const ScenarioSpec parsed = ScenarioSpec::from_text(spec.to_text());
+  EXPECT_EQ(parsed, spec);
+  // And the canonical rendering is a fixed point.
+  EXPECT_EQ(parsed.to_text(), spec.to_text());
+}
+
+TEST(ScenarioText, AwkwardDoublesRoundTrip) {
+  ScenarioSpec spec;
+  spec.timing.control_period_s = 0.1;               // not exactly representable
+  spec.powertrain.aux_power_w = 1.0 / 3.0;          // needs 17 digits
+  spec.network.can_bit_rate = 1e-308;               // near-subnormal
+  spec.pack.initial_soc = 0.30000000000000004;      // classic 0.1+0.2
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+}
+
+TEST(ScenarioText, MissingKeysKeepDefaults) {
+  const ScenarioSpec spec = ScenarioSpec::from_text("scenario.name = tiny\n");
+  ScenarioSpec expected;
+  expected.name = "tiny";
+  EXPECT_EQ(spec, expected);
+}
+
+TEST(ScenarioText, CommentsAndBlankLinesIgnored) {
+  const ScenarioSpec spec = ScenarioSpec::from_text(
+      "# a comment\n\n  \t\nscenario.name = commented\n# trailing\n");
+  EXPECT_EQ(spec.name, "commented");
+}
+
+TEST(ScenarioFile, SaveLoadRoundTrips) {
+  const ScenarioSpec spec = fully_loaded_spec();
+  const std::string path = ::testing::TempDir() + "config_test_roundtrip.scn";
+  ASSERT_TRUE(save_scenario_file(spec, path));
+  EXPECT_EQ(load_scenario_file(path), spec);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioFile, MissingFileThrows) {
+  EXPECT_THROW((void)load_scenario_file("/nonexistent/nowhere.scn"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- parser ----
+
+TEST(ScenarioParser, RejectsUnknownKey) {
+  EXPECT_THROW((void)ScenarioSpec::from_text("pack.modles = 4\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParser, RejectsLineWithoutEquals) {
+  EXPECT_THROW((void)ScenarioSpec::from_text("just some words\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParser, RejectsBadEnumValues) {
+  EXPECT_THROW((void)ScenarioSpec::from_text("drive.cycle = offroad\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::from_text("bms.balancing = magic\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::from_text("subsystems.obs = maybe\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParser, RejectsNonNumericScalars) {
+  EXPECT_THROW((void)ScenarioSpec::from_text("pack.initial_soc = high\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::from_text("powertrain.seed = -3\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParser, RejectsMalformedFaultLines) {
+  // Wrong field count.
+  EXPECT_THROW((void)ScenarioSpec::from_text("fault.0 = 2 bus.drop safety_can\n"),
+               std::invalid_argument);
+  // Unknown kind.
+  EXPECT_THROW(
+      (void)ScenarioSpec::from_text("fault.0 = 2 bus.melt safety_can 1\n"),
+      std::invalid_argument);
+  // Numbering must start at 0 and be consecutive.
+  EXPECT_THROW((void)ScenarioSpec::from_text("fault.1 = 2 bus.drop safety_can 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::from_text(
+                   "fault.0 = 2 bus.drop safety_can 1\n"
+                   "fault.2 = 3 bus.drop safety_can 1\n"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- validation ----
+
+TEST(ScenarioValidate, RejectsBadTiming) {
+  ScenarioSpec spec;
+  spec.timing.control_period_s = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.timing.bms_publish_period_s = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.timing.middleware_frame_us = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsOutOfRangeSocAndCounts) {
+  ScenarioSpec spec;
+  spec.pack.initial_soc = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.drive.repeat = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.pack.module_count = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.name = "has a space";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsIllFormedFaultEvents) {
+  ScenarioSpec spec;
+  spec.faults.push_back(FaultEventSpec{-1.0, FaultKind::kBusDrop, "safety_can", 1.0});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.faults = {FaultEventSpec{1.0, FaultKind::kBusDrop, "", 1.0}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.faults = {FaultEventSpec{1.0, FaultKind::kBusDrop, "safety_can", 0.0}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.faults = {FaultEventSpec{1.0, FaultKind::kBusOff, "safety_can", 0.0}};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  // A well-formed event passes.
+  spec.faults = {FaultEventSpec{1.0, FaultKind::kBusOff, "safety_can", 0.01}};
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioValidate, FromTextValidatesResult) {
+  EXPECT_THROW((void)ScenarioSpec::from_text("drive.repeat = 0\n"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- format_double ----
+
+TEST(FormatDouble, ShortestRoundTrippableForm) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+  for (const double v : {0.1, 1.0 / 3.0, 3.141592653589793, 1e-308, 450.0,
+                         0.30000000000000004, -7.25e9}) {
+    EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+  }
+}
+
+}  // namespace

@@ -3,12 +3,18 @@
 // whole-vehicle co-simulation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <stdexcept>
 
+#include "ev/config/scenario.h"
 #include "ev/core/architecture.h"
 #include "ev/core/cosim.h"
 #include "ev/core/evaluation.h"
+#include "ev/core/scenario.h"
+#include "ev/core/subsystems.h"
 #include "ev/core/synthesis.h"
+#include "ev/faults/degradation.h"
 
 namespace {
 
@@ -179,6 +185,131 @@ TEST(CoSim, NetworkCarriesBackgroundTraffic) {
   b.ramp_to(30.0, 10.0).stop(8.0, 2.0);
   (void)vs.run(std::move(b).build());
   for (auto* bus : vs.network().buses()) EXPECT_GT(bus->delivered_count(), 0u);
+}
+
+TEST(CoSim, NonPositiveTimingConfigThrows) {
+  VehicleSystemConfig cfg;
+  cfg.control_period_s = 0.0;
+  EXPECT_THROW(VehicleSystem{cfg}, std::invalid_argument);
+  cfg = VehicleSystemConfig{};
+  cfg.control_period_s = -0.1;
+  EXPECT_THROW(VehicleSystem{cfg}, std::invalid_argument);
+  cfg = VehicleSystemConfig{};
+  cfg.bms_publish_period_s = 0.0;
+  EXPECT_THROW(VehicleSystem{cfg}, std::invalid_argument);
+  cfg = VehicleSystemConfig{};
+  cfg.middleware_frame_us = 0;
+  EXPECT_THROW(VehicleSystem{cfg}, std::invalid_argument);
+  cfg = VehicleSystemConfig{};
+  EXPECT_NO_THROW(VehicleSystem{cfg});
+}
+
+// ------------------------------------------------------------- subsystems ----
+
+ev::powertrain::DriveCycle short_cycle() {
+  // Gentle enough (slow ramp, soft braking) that a fault-free drive stays
+  // in normal mode, but fast enough (60 km/h cruise) that the limp-home
+  // speed cap (~45 km/h) bites.
+  ev::powertrain::CycleBuilder b("short");
+  b.ramp_to(60.0, 15.0).cruise(25.0).stop(20.0, 5.0);
+  return std::move(b).build();
+}
+
+TEST(Subsystems, FindSubsystemLocatesAttachedAdapters) {
+  VehicleSystem vs{VehicleSystemConfig{}};
+  EXPECT_EQ(vs.find_subsystem<ObservabilitySubsystem>(), nullptr);
+  auto& obs = vs.attach(std::make_unique<ObservabilitySubsystem>());
+  EXPECT_EQ(vs.find_subsystem<ObservabilitySubsystem>(), &obs);
+  EXPECT_EQ(vs.find_subsystem<FaultsSubsystem>(), nullptr);
+}
+
+TEST(Subsystems, SnapshotsLandInCoSimResult) {
+  VehicleSystem vs{VehicleSystemConfig{}};
+  (void)vs.attach(std::make_unique<ObservabilitySubsystem>());
+  (void)vs.attach(std::make_unique<HealthSubsystem>());
+  const CoSimResult r = vs.run(short_cycle());
+  ASSERT_EQ(r.subsystems.size(), 2u);
+  EXPECT_EQ(r.subsystems[0].name, "obs");
+  EXPECT_EQ(r.subsystems[1].name, "health");
+  // The obs snapshot carries a non-trivial event count.
+  ASSERT_FALSE(r.subsystems[0].values.empty());
+  EXPECT_EQ(r.subsystems[0].values[0].first, "events_dispatched");
+  EXPECT_GT(r.subsystems[0].values[0].second, 1000.0);
+}
+
+TEST(Subsystems, ScenarioBusFaultsEscalateToLimpHomeMidDrive) {
+  ev::config::ScenarioSpec spec;
+  spec.powertrain.seed = 7;
+  spec.subsystems.obs = false;
+  spec.subsystems.faults = true;
+  spec.subsystems.health = true;
+  spec.fault_seed = 42;
+  using ev::config::FaultEventSpec;
+  using ev::config::FaultKind;
+  spec.faults = {
+      FaultEventSpec{2.0, FaultKind::kBusCorrupt, "safety_can", 4.0},
+      FaultEventSpec{4.0, FaultKind::kBusCorrupt, "safety_can", 4.0},
+      FaultEventSpec{6.0, FaultKind::kBusOff, "safety_can", 0.05},
+  };
+
+  // Same trimmed mission, clean vs faulted, through the composition root.
+  ev::config::ScenarioSpec clean = spec;
+  clean.faults.clear();
+  auto clean_vehicle = build_vehicle(clean);
+  const CoSimResult clean_r = clean_vehicle->run(short_cycle());
+
+  auto vehicle = build_vehicle(spec);
+  const CoSimResult faulted_r = vehicle->run(short_cycle());
+
+  auto* faults = vehicle->find_subsystem<FaultsSubsystem>();
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->plan().injections().size(), 3u);
+  EXPECT_EQ(faults->degradation().mode(), ev::faults::DriveMode::kLimpHome);
+
+  // The escalation happened mid-drive, stepwise, for network causes.
+  const auto& changes = faults->mode_changes();
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].to, ev::faults::DriveMode::kDerated);
+  EXPECT_EQ(changes[1].to, ev::faults::DriveMode::kLimpHome);
+  EXPECT_GT(changes[0].t_s, 1.0);
+  EXPECT_LT(changes[1].t_s, faulted_r.cycle.duration_s);
+  EXPECT_EQ(changes[1].cause, "bus_faults");
+
+  // Limp-home torque/speed limits show up in the drive ledger: same mission
+  // time, strictly less ground covered once the limits bite.
+  EXPECT_LT(faults->degradation().torque_limit_fraction(), 1.0);
+  EXPECT_LT(faulted_r.cycle.distance_km, 0.99 * clean_r.cycle.distance_km);
+
+  // Clean twin stayed in normal mode.
+  auto* clean_faults = clean_vehicle->find_subsystem<FaultsSubsystem>();
+  EXPECT_EQ(clean_faults->degradation().mode(), ev::faults::DriveMode::kNormal);
+}
+
+TEST(Subsystems, ResultJsonIsDeterministic) {
+  ev::config::ScenarioSpec spec;
+  spec.subsystems.obs = false;
+  spec.subsystems.health = true;
+  auto run_once = [&] {
+    auto vehicle = build_vehicle(spec);
+    ScenarioRunResult result;
+    result.scenario = spec.name;
+    result.cosim = vehicle->run(short_cycle());
+    return result_json(result);
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Subsystems, UnknownFaultTargetThrowsOnRun) {
+  ev::config::ScenarioSpec spec;
+  spec.subsystems.obs = false;
+  spec.subsystems.faults = true;
+  spec.faults = {ev::config::FaultEventSpec{
+      1.0, ev::config::FaultKind::kBusDrop, "warp_bus", 1.0}};
+  auto vehicle = build_vehicle(spec);
+  EXPECT_THROW((void)vehicle->run(short_cycle()), std::invalid_argument);
 }
 
 }  // namespace
