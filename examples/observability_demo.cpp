@@ -43,8 +43,10 @@ int main() {
   std::printf("  mw.cockpit-controller.frames  %llu\n",
               static_cast<unsigned long long>(metrics.counter_value(
                   metrics.counter("mw.cockpit-controller.frames"))));
+  // jobs_completed is exported as a gauge (absolute count snapshot, not an
+  // increment stream) — reading it as a counter would clash on the kind.
   std::printf("  information partition jobs    %llu\n",
-              static_cast<unsigned long long>(metrics.counter_value(metrics.counter(
+              static_cast<unsigned long long>(metrics.gauge_value(metrics.gauge(
                   "mw.cockpit-controller.information.jobs_completed"))));
   std::printf("  information budget util  %.3f\n",
               metrics.gauge_value(

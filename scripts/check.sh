@@ -2,9 +2,12 @@
 # Full verification sweep: build and test the default (Release) configuration
 # and an ASan+UBSan configuration. Run from anywhere inside the repository.
 #
-#   $ scripts/check.sh            # both configurations
+#   $ scripts/check.sh            # release + asan/ubsan
 #   $ scripts/check.sh release    # Release only
 #   $ scripts/check.sh sanitize   # ASan+UBSan only
+#   $ scripts/check.sh tsan       # ThreadSanitizer only (not part of `all`:
+#                                 # TSan and ASan cannot share a process, so
+#                                 # it is its own configuration and CI job)
 set -euo pipefail
 
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
@@ -30,9 +33,13 @@ case "$what" in
     run_config sanitize "$repo_root/build-asan" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEVSYS_SANITIZE=ON
     ;;&
-  release|sanitize|all) ;;
+  tsan)
+    run_config tsan "$repo_root/build-tsan" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEVSYS_SANITIZE=thread
+    ;;&
+  release|sanitize|tsan|all) ;;
   *)
-    echo "usage: $0 [release|sanitize|all]" >&2
+    echo "usage: $0 [release|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# clang-tidy over the evsys sources using the repo .clang-tidy profile.
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed (the default container ships only the GCC toolchain), so the
+# sweep is advisory locally and enforced in the CI static-analysis job.
+#
+#   $ scripts/tidy.sh                 # whole tree
+#   $ scripts/tidy.sh src/analysis    # one subtree
+#   $ scripts/tidy.sh file1.cpp ...   # explicit files
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+build_dir="$repo_root/build"
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+tidy_bin=$(command -v clang-tidy || true)
+if [[ -z "$tidy_bin" ]]; then
+  echo "tidy: clang-tidy not found on PATH — skipping (advisory pass)" >&2
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; configure one if missing.
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "tidy: no compile_commands.json in $build_dir" >&2
+  exit 1
+fi
+
+# Arguments: directories are expanded to their .cpp files, files pass
+# through; no arguments means the whole tree.
+files=()
+if [[ $# -eq 0 ]]; then
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find "$repo_root/src" "$repo_root/tools" -name '*.cpp' | sort)
+else
+  for arg in "$@"; do
+    if [[ -d "$arg" ]]; then
+      while IFS= read -r f; do files+=("$f"); done \
+        < <(find "$arg" -name '*.cpp' | sort)
+    else
+      files+=("$arg")
+    fi
+  done
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "tidy: nothing to check" >&2
+  exit 0
+fi
+
+echo "==> clang-tidy (${#files[@]} files, $jobs jobs)"
+printf '%s\n' "${files[@]}" \
+  | xargs -P "$jobs" -I{} "$tidy_bin" -p "$build_dir" --quiet {}
+echo "==> tidy clean"

@@ -1,0 +1,41 @@
+/// \file analyzer.h
+/// Whole-vehicle static analysis: schedulability and worst-case response
+/// bounds for every ECU task and network frame of a composed scenario, plus
+/// structural lints on the wiring — all computed from the extracted model,
+/// never by simulation. This is the "verify before deploy" pass the paper's
+/// software-design sections call for; experiment E19 cross-validates every
+/// bound against the latencies the simulation actually observes.
+///
+/// Rules (stable ids):
+///   errors   rta.unschedulable      response-time bound exceeds the period
+///            bus.overload           offered load exceeds bus capacity
+///            ecu.frame_overflow     partition budgets exceed the major frame
+///            partition.overcommitted  runnable demand exceeds the budget
+///            can.payload_size       CAN payload beyond the 8-byte limit
+///            flexray.dynamic_overflow  frame exceeds the dynamic segment
+///            lin.no_slot            send id missing from the schedule table
+///            fault.unknown_target   fault plan names a nonexistent target
+///   warnings pubsub.orphan_topic    topic published but never subscribed
+///            pubsub.unfed_topic     topic subscribed but never published
+///            health.uncovered_partition  partition without heartbeat watch
+///            gw.unfed_route         gateway route no source ever feeds
+///            lin.oversampled / flexray.oversampled  period beats the cycle
+///                                   (state semantics silently drop updates)
+///   info     rta.frame / rta.bus / rta.partition / rta.runnable /
+///            rta.pubsub / gw.delay / bus.load   computed bounds, exported
+///                                   for the record and for E19
+#pragma once
+
+#include "ev/analysis/diagnostics.h"
+#include "ev/analysis/model.h"
+#include "ev/config/scenario.h"
+
+namespace ev::analysis {
+
+/// Runs every check over an extracted model.
+[[nodiscard]] Report analyze(const VehicleModel& model);
+
+/// Convenience: extract_model + analyze.
+[[nodiscard]] Report analyze_scenario(const config::ScenarioSpec& spec);
+
+}  // namespace ev::analysis

@@ -1,0 +1,72 @@
+/// \file diagnostics.h
+/// Typed findings of the whole-vehicle static analyzer. Every check emits
+/// Diagnostic records — severity, a stable machine-readable rule id, the
+/// subject (bus/frame/partition/topic) it concerns, human-readable text,
+/// and where applicable the computed numeric bound (worst-case response
+/// time, utilization, demand). A Report collects them, renders
+/// deterministic JSON (same scenario ⇒ byte-identical output), and maps to
+/// the `evsys check` exit code: any error ⇒ 1, warnings only ⇒ 3, clean ⇒ 0.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ev::analysis {
+
+/// How bad a finding is.
+enum class Severity : std::uint8_t {
+  kInfo,     ///< A computed bound or verified property, for the record.
+  kWarning,  ///< Suspicious wiring; the vehicle runs but likely not as meant.
+  kError,    ///< The composed vehicle violates a hard constraint.
+};
+
+/// Severity name as it appears in JSON ("info", "warning", "error").
+[[nodiscard]] std::string to_string(Severity severity);
+
+/// One analyzer finding.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string rule_id;  ///< Stable id, e.g. "rta.unschedulable".
+  std::string subject;  ///< What it concerns, e.g. "safety_can/0x201".
+  std::string message;  ///< Human-readable explanation.
+  double bound = 0.0;   ///< Rule-specific figure (response time [us],
+                        ///< utilization, demand [us]; 0 when not applicable).
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// All findings for one analyzed scenario.
+struct Report {
+  std::string scenario;  ///< spec.name of the analyzed scenario.
+  std::vector<Diagnostic> diagnostics;
+
+  /// Appends one finding.
+  void add(Severity severity, std::string rule_id, std::string subject,
+           std::string message, double bound = 0.0);
+
+  [[nodiscard]] std::size_t count(Severity severity) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept;
+
+  /// Deterministic order: errors first, then warnings, then info; ties by
+  /// rule id, subject, message. Stable regardless of emission order.
+  void sort();
+
+  /// First diagnostic matching rule + subject, or nullptr. Linear scan —
+  /// readout convenience for tests and the cross-validation bench.
+  [[nodiscard]] const Diagnostic* find(std::string_view rule_id,
+                                       std::string_view subject) const noexcept;
+};
+
+/// Renders the report as one deterministic JSON object (sorted diagnostics,
+/// doubles in shortest round-trippable form, keys in fixed order).
+void write_report_json(const Report& report, std::ostream& out);
+[[nodiscard]] std::string report_json(const Report& report);
+
+/// The `evsys check` process exit code for \p report: 1 when any error was
+/// found, 3 when only warnings, 0 when clean (info never affects the code).
+[[nodiscard]] int exit_code_for(const Report& report) noexcept;
+
+}  // namespace ev::analysis

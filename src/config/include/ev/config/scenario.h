@@ -134,9 +134,9 @@ struct ScenarioSpec {
   [[nodiscard]] std::string to_text() const;
 
   /// Parses the to_text() format: `#` comments and blank lines ignored,
-  /// unknown keys rejected, missing keys keep their defaults. Throws
-  /// std::invalid_argument with the offending line on any malformed input,
-  /// and validate()s the result before returning it.
+  /// unknown and duplicate keys rejected, missing keys keep their defaults.
+  /// Throws std::invalid_argument with the offending line on any malformed
+  /// input, and validate()s the result before returning it.
   [[nodiscard]] static ScenarioSpec from_text(const std::string& text);
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;

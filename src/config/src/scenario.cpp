@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -215,6 +216,7 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::size_t next_fault = 0;
+  std::set<std::string> seen;
   while (std::getline(in, line)) {
     const std::string stripped = trim(line);
     if (stripped.empty() || stripped.front() == '#') continue;
@@ -225,6 +227,12 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
     const std::string value = trim(stripped.substr(eq + 1));
     if (key.empty() || value.empty())
       fail("scenario: empty key or value in '" + stripped + "'");
+    // Silently letting the last occurrence win would make two contradictory
+    // lines a valid experiment description; reject the ambiguity instead.
+    // (fault.N keys are unique already: the consecutive-numbering check
+    // below rejects a reused index.)
+    if (!seen.insert(key).second)
+      fail("scenario: duplicate key '" + key + "'");
 
     if (key == "scenario.name") {
       spec.name = value;

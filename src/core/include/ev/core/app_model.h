@@ -1,0 +1,71 @@
+/// \file app_model.h
+/// Static description of the cockpit application the composition root
+/// deploys: which partitions exist with which budgets, which runnables they
+/// host, and which pub/sub topics flow between them. VehicleSystem::run()
+/// creates its partitions from this model and the ev::analysis layer reads
+/// the very same model for schedulability analysis and wiring lints — one
+/// source of truth, so what is verified statically is what runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ev/middleware/pubsub.h"
+
+namespace ev::core {
+
+struct VehicleSystemConfig;
+
+/// Topic id of the pack-state samples the network receiver publishes into
+/// the cockpit broker (decoded from the forwarded BMS frames on MOST).
+inline constexpr middleware::TopicId kTopicPackState = 0x01;
+
+/// Payload of kTopicPackState (POD — the wire form is the object bytes).
+struct PackStateSample {
+  double soc = 0.0;        ///< Pack state of charge as received over the network.
+  double usable_wh = 0.0;  ///< Usable pack energy [Wh].
+};
+
+/// One deployed runnable, as the analyzer needs to see it.
+struct RunnableModel {
+  std::string name;
+  std::int64_t period_us = 0;  ///< Activation period.
+  std::int64_t wcet_us = 0;    ///< Declared worst-case execution time.
+};
+
+/// One cockpit partition with its per-major-frame budget.
+struct PartitionModel {
+  std::string name;
+  std::int64_t budget_us = 0;
+  int criticality = 0;
+  std::vector<RunnableModel> runnables;
+};
+
+/// One broker topic with its declared endpoints. Publishers/subscribers name
+/// partitions, or pseudo-endpoints (e.g. "network-rx") for event-context
+/// publications that run outside any partition window.
+struct TopicModel {
+  middleware::TopicId id = 0;
+  std::string name;
+  std::size_t payload_bytes = 0;
+  std::vector<std::string> publishers;
+  std::vector<std::string> subscribers;
+};
+
+/// The cockpit ECU's application, statically described.
+struct CockpitAppModel {
+  std::string ecu_name;
+  std::int64_t major_frame_us = 0;
+  std::vector<PartitionModel> partitions;
+  std::vector<TopicModel> topics;
+};
+
+/// The application VehicleSystem::run() deploys for \p config. When
+/// \p health_enabled, every partition additionally carries the heartbeat
+/// runnable the HealthSubsystem's monitor deploys (period = one major frame,
+/// tiny WCET) so budget analysis sees the monitoring overhead too.
+[[nodiscard]] CockpitAppModel cockpit_app_model(const VehicleSystemConfig& config,
+                                               bool health_enabled);
+
+}  // namespace ev::core

@@ -1,0 +1,48 @@
+#include "ev/core/app_model.h"
+
+#include "ev/core/cosim.h"
+#include "ev/middleware/health.h"
+
+namespace ev::core {
+
+CockpitAppModel cockpit_app_model(const VehicleSystemConfig& config,
+                                  bool health_enabled) {
+  CockpitAppModel app;
+  app.ecu_name = "cockpit-controller";
+  app.major_frame_us = config.middleware_frame_us;
+
+  PartitionModel information;
+  information.name = "information";
+  information.budget_us = 4000;
+  // The range service handler executes inside the caller's window; the
+  // partition itself hosts no periodic runnable beyond monitoring.
+
+  PartitionModel hmi;
+  hmi.name = "hmi";
+  hmi.budget_us = 8000;
+  hmi.runnables.push_back(RunnableModel{"hmi-range-widget", 200000, 1500});
+
+  app.partitions.push_back(std::move(information));
+  app.partitions.push_back(std::move(hmi));
+
+  if (health_enabled) {
+    const middleware::HealthConfig health{};
+    const std::int64_t period =
+        health.check_period_us > 0 ? health.check_period_us : app.major_frame_us;
+    for (PartitionModel& partition : app.partitions)
+      partition.runnables.push_back(
+          RunnableModel{"heartbeat", period, health.heartbeat_wcet_us});
+  }
+
+  TopicModel pack_state;
+  pack_state.id = kTopicPackState;
+  pack_state.name = "pack.state";
+  pack_state.payload_bytes = sizeof(PackStateSample);
+  pack_state.publishers = {"network-rx"};
+  pack_state.subscribers = {"information"};
+  app.topics.push_back(std::move(pack_state));
+
+  return app;
+}
+
+}  // namespace ev::core

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ev/core/app_model.h"
+
 namespace ev::core {
 
 VehicleSystem::VehicleSystem(VehicleSystemConfig config) : config_(std::move(config)) {
@@ -31,18 +33,35 @@ Subsystem& VehicleSystem::attach(std::unique_ptr<Subsystem> subsystem) {
 CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
   CoSimResult result;
 
-  // --- Cockpit software: an HMI partition and an information partition -------
-  const std::size_t info_part = cockpit_->create_partition("information", 4000, 0);
-  const std::size_t hmi_part = cockpit_->create_partition("hmi", 8000, 0);
+  // --- Cockpit software: partitions per the static application model --------
+  // The same model feeds ev::analysis, so the statically verified partition
+  // set is by construction the one that runs.
+  const CockpitAppModel app = cockpit_app_model(config_, /*health_enabled=*/false);
+  std::size_t info_part = 0;
+  std::size_t hmi_part = 0;
+  for (const PartitionModel& partition : app.partitions) {
+    const std::size_t index = cockpit_->create_partition(
+        partition.name, partition.budget_us, partition.criticality);
+    if (partition.name == "information") info_part = index;
+    if (partition.name == "hmi") hmi_part = index;
+  }
 
   // Latest pack state as it arrives over the network (what the cockpit sees,
-  // not simulation ground truth).
+  // not simulation ground truth). Fed by the pack.state topic below, so the
+  // information partition observes the sample at a deterministic flush point
+  // rather than in network-interrupt context.
   struct CockpitView {
     double soc = 0.0;
     double usable_wh = 0.0;
     bool fresh = false;
   };
   auto view = std::make_shared<CockpitView>();
+  middleware::Topic<PackStateSample> pack_state(cockpit_->broker(), kTopicPackState);
+  pack_state.subscribe([view](const PackStateSample& sample) {
+    view->soc = sample.soc;
+    view->usable_wh = sample.usable_wh;
+    view->fresh = true;
+  });
 
   // The information partition provides the range service from network data.
   cockpit_->services().provide(
@@ -78,14 +97,17 @@ CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
   std::size_t bms_at_hmi = 0;
   double latency_sum_ms = 0.0;
   network_->infotainment_most().subscribe(
-      [&bms_at_hmi, &latency_sum_ms, view](const network::Frame& f, sim::Time at) {
+      [&bms_at_hmi, &latency_sum_ms, &pack_state](const network::Frame& f,
+                                                  sim::Time at) {
         if (f.id != network::kFrameIdBmsOnMost) return;
         ++bms_at_hmi;
         latency_sum_ms += (at - f.created).to_ms();
         if (f.payload.size() >= 2 * sizeof(double)) {
-          std::memcpy(&view->soc, f.payload.data(), sizeof(double));
-          std::memcpy(&view->usable_wh, f.payload.data() + sizeof(double), sizeof(double));
-          view->fresh = true;
+          PackStateSample sample;
+          std::memcpy(&sample.soc, f.payload.data(), sizeof(double));
+          std::memcpy(&sample.usable_wh, f.payload.data() + sizeof(double),
+                      sizeof(double));
+          pack_state.publish(sample, at.to_us());
         }
       });
 

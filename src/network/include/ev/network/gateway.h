@@ -36,6 +36,15 @@ class Gateway {
   /// Installs \p route; subscribes to the source bus on first use.
   void add_route(GatewayRoute route);
 
+  /// Installed routing rules (for static analysis of the wiring).
+  [[nodiscard]] const std::vector<GatewayRoute>& routes() const noexcept {
+    return routes_;
+  }
+  /// Store-and-forward processing delay per frame [s].
+  [[nodiscard]] double processing_delay_s() const noexcept {
+    return processing_delay_s_;
+  }
+
   /// Frames forwarded so far.
   [[nodiscard]] std::size_t forwarded_count() const noexcept { return forwarded_; }
   /// Frames dropped because the target bus rejected them.

@@ -34,6 +34,10 @@ class MostBus : public Bus {
   [[nodiscard]] std::size_t synchronous_bytes() const noexcept { return sync_bytes_; }
   /// Bytes per frame available to asynchronous traffic.
   [[nodiscard]] std::size_t async_bytes_per_frame() const noexcept;
+  /// Whether \p id has a reserved synchronous stream (constant latency path).
+  [[nodiscard]] bool is_synchronous(std::uint32_t id) const {
+    return streams_.count(id) > 0;
+  }
 
  protected:
   /// Synchronous ids deliver after exactly one frame period (isochronous

@@ -47,6 +47,13 @@ class Interner {
     return index_.find(name) != index_.end();
   }
 
+  /// Id of \p name, or kInvalidId when it was never interned (non-throwing
+  /// lookup for readers that probe optional instruments).
+  [[nodiscard]] MetricId find(std::string_view name) const {
+    const auto it = index_.find(name);
+    return it != index_.end() ? it->second : kInvalidId;
+  }
+
   /// Number of interned names.
   [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
 

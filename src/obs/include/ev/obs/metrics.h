@@ -65,6 +65,10 @@ class MetricsRegistry {
   [[nodiscard]] bool contains(std::string_view name) const {
     return names_.contains(name);
   }
+  /// Id of \p name (any kind), or kInvalidId when not registered.
+  [[nodiscard]] MetricId find(std::string_view name) const {
+    return names_.find(name);
+  }
 
  private:
   struct HistogramData {

@@ -1,0 +1,45 @@
+# Round-trip test for the `evsys check` severity -> exit-code contract, run
+# under ctest (see tests/CMakeLists.txt):
+#   clean scenario            -> 0, byte-identical JSON across two runs
+#   warnings-only scenario    -> 3
+#   scenario with errors      -> 1
+# Expects -DEVSYS=<path to the evsys binary> and -DSOURCE_DIR=<repo root>.
+if(NOT DEFINED EVSYS OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DEVSYS=<binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+function(expect_exit scenario expected)
+  execute_process(
+    COMMAND "${EVSYS}" check "${scenario}"
+    RESULT_VARIABLE code
+    OUTPUT_QUIET ERROR_QUIET)
+  if(NOT code EQUAL expected)
+    message(FATAL_ERROR
+      "evsys check ${scenario}: expected exit ${expected}, got ${code}")
+  endif()
+  message(STATUS "exit ${code} as expected: ${scenario}")
+endfunction()
+
+expect_exit("${SOURCE_DIR}/examples/scenarios/city_commute.scn" 0)
+expect_exit("${SOURCE_DIR}/tests/data/unwatched.scn" 3)
+expect_exit("${SOURCE_DIR}/tests/data/overloaded.scn" 1)
+
+# Same scenario twice must render byte-identical diagnostics JSON.
+set(out_a "${CMAKE_CURRENT_BINARY_DIR}/check_a.json")
+set(out_b "${CMAKE_CURRENT_BINARY_DIR}/check_b.json")
+foreach(out IN ITEMS "${out_a}" "${out_b}")
+  execute_process(
+    COMMAND "${EVSYS}" check "${SOURCE_DIR}/examples/scenarios/city_commute.scn"
+            --out "${out}"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys check --out ${out} failed with ${code}")
+  endif()
+endforeach()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files "${out_a}" "${out_b}"
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR "evsys check JSON differs between identical runs")
+endif()
+message(STATUS "deterministic: two runs byte-identical")

@@ -130,6 +130,27 @@ TEST(ScenarioParser, RejectsNonNumericScalars) {
                std::invalid_argument);
 }
 
+TEST(ScenarioParser, RejectsDuplicateKeys) {
+  // Last-wins would silently accept two contradictory lines; the parser
+  // rejects the ambiguity instead, naming the repeated key.
+  try {
+    (void)ScenarioSpec::from_text(
+        "drive.repeat = 2\n"
+        "pack.module_count = 4\n"
+        "drive.repeat = 3\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("drive.repeat"), std::string::npos);
+  }
+  // Repeating the same value is still a duplicate — the format is one line
+  // per key by construction (to_text never emits two).
+  EXPECT_THROW((void)ScenarioSpec::from_text(
+                   "scenario.name = a\n"
+                   "scenario.name = a\n"),
+               std::invalid_argument);
+}
+
 TEST(ScenarioParser, RejectsMalformedFaultLines) {
   // Wrong field count.
   EXPECT_THROW((void)ScenarioSpec::from_text("fault.0 = 2 bus.drop safety_can\n"),

@@ -111,7 +111,9 @@ TEST(Fpga, IsolationOnlyForPartialAndDual) {
   ev::util::Rng rng2(73);
   const auto full =
       simulate_mission(cfg, RecoveryStrategy::kFullReconfiguration, mission, rng2);
-  if (full.faults > 0) EXPECT_GT(full.system_downtime_s, 0.0);
+  if (full.faults > 0) {
+    EXPECT_GT(full.system_downtime_s, 0.0);
+  }
 }
 
 TEST(Fpga, HardwareOverheadReported) {

@@ -288,7 +288,7 @@ TEST(SampledChain, AddsPeriodPerHop) {
 }
 
 TEST(SampledChain, SizeMismatchRejected) {
-  EXPECT_THROW(sampled_chain_latency_us({1000}, {}), std::invalid_argument);
+  EXPECT_THROW((void)sampled_chain_latency_us({1000}, {}), std::invalid_argument);
 }
 
 }  // namespace

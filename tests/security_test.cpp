@@ -267,8 +267,9 @@ TEST_P(ChargingMatrix, AttackOutcomeMatchesDefence) {
   EXPECT_EQ(fraud, c.expect_fraud)
       << "billed=" << out.billed_kwh << " delivered=" << out.delivered_kwh
       << " v2g=" << out.accepted_v2g_commands;
-  if (c.authenticate && c.attack != MitmAttacker::Attack::kNone)
+  if (c.authenticate && c.attack != MitmAttacker::Attack::kNone) {
     EXPECT_GT(out.rejected_messages, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -209,8 +209,9 @@ TEST_P(MustSoundness, AlwaysHitNeverMisses) {
           const Classification cls =
               iter == 0 ? r.blocks[static_cast<std::size_t>(id)].first_iteration[a]
                         : r.blocks[static_cast<std::size_t>(id)].steady_state[a];
-          if (cls == Classification::kAlwaysHit)
+          if (cls == Classification::kAlwaysHit) {
             ASSERT_TRUE(hit) << "unsound AlwaysHit in block " << id << " access " << a;
+          }
         }
       }
       if (b.successors.empty()) break;

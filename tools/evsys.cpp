@@ -6,6 +6,7 @@
 //
 //   $ evsys run examples/scenarios/city_commute.scn
 //   $ evsys run limp.scn --out limp.result.json --metrics limp
+//   $ evsys check examples/scenarios/city_commute.scn   # static analysis
 //   $ evsys print examples/scenarios/city_commute.scn   # canonical round-trip
 #include <cstdio>
 #include <cstring>
@@ -14,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "ev/analysis/analyzer.h"
 #include "ev/config/scenario.h"
 #include "ev/core/scenario.h"
 #include "ev/core/subsystems.h"
@@ -23,6 +25,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run <scenario.scn> [--out <file>] [--metrics <base>]\n"
+               "       %s check <scenario.scn> [--out <file>]\n"
                "       %s print <scenario.scn>\n"
                "       %s template\n"
                "\n"
@@ -31,11 +34,45 @@ int usage(const char* argv0) {
                "            stdout (or --out <file>). --metrics <base> also\n"
                "            exports <base>.metrics.json/.metrics.csv from the\n"
                "            observability subsystem.\n"
+               "  check     statically analyze the composed vehicle without\n"
+               "            running it: schedulability bounds per ECU and bus,\n"
+               "            plus wiring lints. Diagnostics JSON goes to stdout\n"
+               "            (or --out <file>), a summary to stderr. Exit code:\n"
+               "            0 clean, 1 errors, 3 warnings only.\n"
                "  print     parse + validate a scenario and print its canonical\n"
                "            text form (a lossless round-trip).\n"
                "  template  print a default scenario to start from.\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
+}
+
+int cmd_check(const std::string& path, const std::string& out_path) {
+  const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
+  const ev::analysis::Report report = ev::analysis::analyze_scenario(spec);
+
+  if (out_path.empty()) {
+    ev::analysis::write_report_json(report, std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "evsys: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    ev::analysis::write_report_json(report, out);
+    if (!out) return 1;
+  }
+
+  std::fprintf(stderr, "evsys check: %s — %zu error(s), %zu warning(s), %zu bound(s)\n",
+               report.scenario.c_str(),
+               report.count(ev::analysis::Severity::kError),
+               report.count(ev::analysis::Severity::kWarning),
+               report.count(ev::analysis::Severity::kInfo));
+  for (const ev::analysis::Diagnostic& d : report.diagnostics)
+    if (d.severity != ev::analysis::Severity::kInfo)
+      std::fprintf(stderr, "  %s %s [%s] %s\n",
+                   ev::analysis::to_string(d.severity).c_str(), d.subject.c_str(),
+                   d.rule_id.c_str(), d.message.c_str());
+  return ev::analysis::exit_code_for(report);
 }
 
 int cmd_run(const std::string& path, const std::string& out_path,
@@ -91,6 +128,18 @@ int main(int argc, char** argv) {
     if (command == "print") {
       if (argc != 3) return usage(argv[0]);
       return cmd_print(argv[2]);
+    }
+    if (command == "check") {
+      if (argc < 3) return usage(argv[0]);
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      return cmd_check(argv[2], out_path);
     }
     if (command == "run") {
       if (argc < 3) return usage(argv[0]);
