@@ -197,11 +197,17 @@ void run_experiment() {
   // not the randomness, decides the outcome.
   ev::util::Table sweep("seed sweep (same plan, three seeds)",
                         {"seed", "final mode", "transitions", "restarts"});
-  evbench::run_seeded_campaign(kSeed, 1, 3, [&](std::uint64_t seed, int) {
-    const CampaignReport s = run_campaign(seed, nullptr);
-    sweep.add_row({std::to_string(seed), ev::faults::to_string(s.final_mode),
-                   std::to_string(s.transitions.size()), std::to_string(s.restarts)});
-  });
+  // Each sweep rung builds its own simulator stack (no shared registry —
+  // metrics stay with the seed-17 headline campaign above), so the rungs
+  // fan out across workers and fold back into the table in seed order.
+  evbench::run_seeded_campaign(
+      kSeed, 1, 3, evbench::default_jobs(),
+      [](std::uint64_t seed, int) { return run_campaign(seed, nullptr); },
+      [&](CampaignReport s, std::uint64_t seed, int) {
+        sweep.add_row({std::to_string(seed), ev::faults::to_string(s.final_mode),
+                       std::to_string(s.transitions.size()),
+                       std::to_string(s.restarts)});
+      });
   sweep.print();
 
   evbench::set_gauge("e17.final_mode",

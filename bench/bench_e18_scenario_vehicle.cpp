@@ -85,22 +85,31 @@ void run_experiment() {
   double clean_wh = 0.0, faulted_wh = 0.0;
   bool escalated_everywhere = true;
   const int runs = 2;
-  evbench::run_seeded_campaign(7, 1, runs, [&](std::uint64_t seed, int) {
-    const Outcome clean = run(clean_scenario(seed));
-    const Outcome faulted = run(faulted_scenario(seed));
-    clean_km += clean.distance_km / runs;
-    faulted_km += faulted.distance_km / runs;
-    clean_wh += clean.energy_out_wh / runs;
-    faulted_wh += faulted.energy_out_wh / runs;
-    escalated_everywhere =
-        escalated_everywhere && faulted.final_mode > clean.final_mode;
-    for (const Outcome* o : {&clean, &faulted})
-      table.add_row({std::to_string(seed), o == &clean ? "clean" : "faulted",
-                     ev::util::fmt(o->distance_km, 2) + " km",
-                     ev::util::fmt(o->energy_out_wh, 0) + " Wh",
-                     ev::faults::to_string(o->final_mode),
-                     std::to_string(o->injections), std::to_string(o->restarts)});
-  });
+  struct SeedPair {
+    Outcome clean;
+    Outcome faulted;
+  };
+  // Each rung runs its clean/faulted vehicle pair on a private simulator
+  // stack; folding in seed order keeps the table and means deterministic.
+  evbench::run_seeded_campaign(
+      7, 1, runs, evbench::default_jobs(),
+      [](std::uint64_t seed, int) {
+        return SeedPair{run(clean_scenario(seed)), run(faulted_scenario(seed))};
+      },
+      [&](SeedPair pair, std::uint64_t seed, int) {
+        clean_km += pair.clean.distance_km / runs;
+        faulted_km += pair.faulted.distance_km / runs;
+        clean_wh += pair.clean.energy_out_wh / runs;
+        faulted_wh += pair.faulted.energy_out_wh / runs;
+        escalated_everywhere =
+            escalated_everywhere && pair.faulted.final_mode > pair.clean.final_mode;
+        for (const Outcome* o : {&pair.clean, &pair.faulted})
+          table.add_row({std::to_string(seed), o == &pair.clean ? "clean" : "faulted",
+                         ev::util::fmt(o->distance_km, 2) + " km",
+                         ev::util::fmt(o->energy_out_wh, 0) + " Wh",
+                         ev::faults::to_string(o->final_mode),
+                         std::to_string(o->injections), std::to_string(o->restarts)});
+      });
   table.print();
 
   // The scenario text is the experiment's interface: serialize the faulted

@@ -77,13 +77,17 @@ void run_experiment() {
        {BalancingKind::kNone, BalancingKind::kPassive, BalancingKind::kActive}) {
     BalancingOutcome mean;
     const int runs = 3;
-    evbench::run_seeded_campaign(1, 1, runs, [&](std::uint64_t seed, int) {
-      const BalancingOutcome o = run_balancing(kind, seed);
-      mean.hours_to_balance += o.hours_to_balance / runs;
-      mean.wasted_wh += o.wasted_wh / runs;
-      mean.usable_wh += o.usable_wh / runs;
-      mean.min_soc += o.min_soc / runs;
-    });
+    // Per-seed packs equalize independently; the parallel campaign folds
+    // their outcomes in seed order, so the averages match the serial sweep.
+    evbench::run_seeded_campaign(
+        1, 1, runs, evbench::default_jobs(),
+        [kind](std::uint64_t seed, int) { return run_balancing(kind, seed); },
+        [&](BalancingOutcome o, std::uint64_t, int) {
+          mean.hours_to_balance += o.hours_to_balance / runs;
+          mean.wasted_wh += o.wasted_wh / runs;
+          mean.usable_wh += o.usable_wh / runs;
+          mean.min_soc += o.min_soc / runs;
+        });
     if (kind == BalancingKind::kActive) {
       evbench::set_gauge("e2.active.usable_wh", mean.usable_wh);
       evbench::set_gauge("e2.active.hours_to_balance", mean.hours_to_balance);

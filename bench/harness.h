@@ -12,10 +12,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "ev/campaign/parallel.h"
 #include "ev/obs/export.h"
 #include "ev/obs/metrics.h"
 #include "ev/obs/sim_observer.h"
@@ -82,6 +86,35 @@ inline void run_seeded_campaign(std::uint64_t first, std::uint64_t stride, int r
                                 Body&& body) {
   for (int i = 0; i < runs; ++i)
     body(first + static_cast<std::uint64_t>(i) * stride, i);
+}
+
+/// Worker thread count for parallel campaigns: EVSYS_BENCH_JOBS when set,
+/// otherwise one per hardware thread.
+inline int default_jobs() {
+  if (const char* env = std::getenv("EVSYS_BENCH_JOBS"); env != nullptr && *env != '\0')
+    return std::atoi(env);
+  return 0;  // resolve_jobs turns 0 into hardware_concurrency
+}
+
+/// Parallel overload of the seed-ladder campaign. \p worker(seed, index)
+/// runs on up to \p jobs threads (0 = one per hardware thread) and must be
+/// a pure function of its arguments — no shared mutable state, no touching
+/// metrics()/trace(). Its returned values are handed to
+/// \p fold(result, seed, index) on the calling thread in seed-index order,
+/// so accumulated means, tables, and metrics come out byte-identical for
+/// any jobs value (and identical to the serial overload).
+template <typename Worker, typename Fold>
+inline void run_seeded_campaign(std::uint64_t first, std::uint64_t stride, int runs,
+                                int jobs, Worker&& worker, Fold&& fold) {
+  using Result = std::invoke_result_t<Worker&, std::uint64_t, int>;
+  std::vector<std::optional<Result>> results(static_cast<std::size_t>(runs));
+  ev::campaign::parallel_for(runs, jobs, [&](int i) {
+    results[static_cast<std::size_t>(i)].emplace(
+        worker(first + static_cast<std::uint64_t>(i) * stride, i));
+  });
+  for (int i = 0; i < runs; ++i)
+    fold(std::move(*results[static_cast<std::size_t>(i)]),
+         first + static_cast<std::uint64_t>(i) * stride, i);
 }
 
 /// Exports the metrics snapshot to BENCH_<experiment>.json (and the span

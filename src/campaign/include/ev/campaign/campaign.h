@@ -1,0 +1,73 @@
+/// \file campaign.h
+/// Parallel, bit-deterministic scenario campaigns. A campaign fans one
+/// declarative scenario out over an arithmetic seed ladder (the same ladder
+/// shape the bench harness uses), runs every rung on a private
+/// Simulator/VehicleSystem/MetricsRegistry, and folds the shards back
+/// together on the coordinating thread in seed-index order. Because every
+/// run is a pure function of (spec, seed) and the fold order is fixed, the
+/// campaign report — per-seed result digests, cross-seed min/mean/max
+/// tables, and the merged metrics registry — is byte-identical for any
+/// worker count. `evsys campaign` and bench_e20 are thin wrappers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ev/config/scenario.h"
+#include "ev/obs/metrics.h"
+
+namespace ev::campaign {
+
+/// Arithmetic seed ladder: seed(i) = first + i * stride for i in [0, count).
+struct SeedPlan {
+  std::uint64_t first = 1;
+  std::uint64_t stride = 1;
+  int count = 8;
+
+  [[nodiscard]] std::uint64_t seed(int index) const noexcept {
+    return first + static_cast<std::uint64_t>(index) * stride;
+  }
+};
+
+struct CampaignOptions {
+  SeedPlan seeds;
+  int jobs = 1;  ///< Worker threads; <= 0 means one per hardware thread.
+};
+
+/// One rung of the ladder, in seed-index order.
+struct SeedRun {
+  std::uint64_t seed = 0;
+  std::uint32_t digest = 0;     ///< CRC-32 of the per-seed result JSON.
+  double distance_km = 0.0;
+  double battery_energy_out_wh = 0.0;
+  double consumption_wh_km = 0.0;
+  double final_soc = 0.0;
+};
+
+/// The aggregate report. Move-only (the merged registry interns names).
+struct CampaignResult {
+  std::string scenario;  ///< spec.name
+  SeedPlan seeds;
+  std::vector<SeedRun> runs;      ///< Seed-index order, one entry per rung.
+  obs::MetricsRegistry metrics;   ///< Obs shards merged in seed-index order
+                                  ///< (empty when the scenario disables obs).
+};
+
+/// Runs \p spec once per ladder rung on up to options.jobs workers. Each
+/// rung gets the rung seed as both its powertrain and fault-plan seed; the
+/// rest of the spec is shared. Same (spec, seeds) ⇒ the same result for any
+/// jobs value. Throws what scenario building/running throws; the first
+/// worker error wins and the campaign completes its remaining rungs first.
+[[nodiscard]] CampaignResult run_scenario_campaign(const config::ScenarioSpec& spec,
+                                                   const CampaignOptions& options);
+
+/// Renders the deterministic campaign report as one JSON object: the seed
+/// plan, per-seed digests + headline drive figures, cross-seed min/mean/max
+/// tables over those figures, and the merged metrics snapshot. The worker
+/// count is deliberately absent — output must not depend on it.
+void write_campaign_json(const CampaignResult& result, std::ostream& out);
+[[nodiscard]] std::string campaign_json(const CampaignResult& result);
+
+}  // namespace ev::campaign

@@ -1,0 +1,68 @@
+/// \file parallel.h
+/// A minimal fixed-size worker pool for embarrassingly parallel task fans.
+/// parallel_for(count, jobs, fn) runs fn(0..count-1) on up to `jobs` threads
+/// (the calling thread participates, so jobs=1 never spawns). Tasks are
+/// handed out through one atomic cursor; callers that need deterministic
+/// aggregation collect per-index results into a pre-sized slot array and
+/// fold them on the calling thread in index order afterwards — that is the
+/// pattern the campaign runner and the bench harness build on.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ev::campaign {
+
+/// Resolves a user-facing --jobs value: <= 0 means one job per hardware
+/// thread, and the result is clamped to [1, count] so a small fan never
+/// spawns idle workers.
+[[nodiscard]] inline int resolve_jobs(int jobs, int count) noexcept {
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs <= 0) jobs = 1;
+  return std::clamp(jobs, 1, std::max(count, 1));
+}
+
+/// Runs fn(i) once for every i in [0, count) on up to `jobs` threads
+/// (resolve_jobs semantics). Index handout order is nondeterministic across
+/// threads; completion of the call is a full barrier. The first exception a
+/// task throws is rethrown on the calling thread after all workers drain —
+/// remaining tasks still run, so the slot-array pattern never observes a
+/// half-written slot.
+inline void parallel_for(int count, int jobs, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  jobs = resolve_jobs(jobs, count);
+  if (jobs == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto drain = [&] {
+    for (;;) {
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int t = 1; t < jobs; ++t) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ev::campaign

@@ -26,6 +26,14 @@ inline constexpr MetricId kInvalidId = 0xffff'ffffu;
 /// allocate; everything downstream carries only the id.
 class Interner {
  public:
+  Interner() = default;
+  // Move-only: names_ points into index_'s map nodes, which survive a move
+  // but would dangle into the source after a memberwise copy.
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
   /// Returns the id of \p name, registering it on first use.
   MetricId intern(std::string_view name) {
     const auto it = index_.find(name);

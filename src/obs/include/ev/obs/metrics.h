@@ -27,15 +27,35 @@ enum class MetricKind : std::uint8_t {
 /// Registry of named metrics. Ids are stable for the registry's lifetime and
 /// shared across kinds (one id space); re-registering a name returns the
 /// existing id and must use the same kind.
+///
+/// Thread-safety: none — a registry is single-writer by design, so the hot
+/// update paths stay branch-plus-index with no synchronization. Parallel
+/// workloads (the campaign runner, sharded benches) give every worker its
+/// own private registry and fold the shards together afterwards with
+/// merge(), on one thread, in a fixed order.
 class MetricsRegistry {
  public:
+  /// Folds \p other into this registry, matching metrics by name: counters
+  /// sum, gauges max-merge (the peak-tracking semantics of set_max), and
+  /// histograms combine bucket-wise with their streaming stats joined via
+  /// parallel Welford. Metrics unknown here are registered first (in
+  /// \p other's registration order). Throws std::invalid_argument when a
+  /// name is registered with a different kind or histogram shape.
+  ///
+  /// The fold is order-independent: merge(A, B) and merge(B, A) read back
+  /// identically metric-for-metric (ids may differ when the operands
+  /// registered different name sets in different orders).
+  void merge(const MetricsRegistry& other);
+
   /// Registers (or finds) the counter \p name.
   MetricId counter(std::string_view name);
   /// Registers (or finds) the gauge \p name.
   MetricId gauge(std::string_view name);
   /// Registers (or finds) a histogram over [lo, hi) with \p bins buckets;
   /// out-of-range observations clamp to the boundary buckets (bounded
-  /// memory regardless of the observed range).
+  /// memory regardless of the observed range) and NaN observations land in
+  /// the histogram's counted nan bucket without touching the streaming
+  /// stats.
   MetricId histogram(std::string_view name, double lo, double hi,
                      std::size_t bins = 32);
 

@@ -33,10 +33,15 @@ std::string escape(const std::string& s) {
 void write_histogram_json(const MetricsRegistry& reg, MetricId id, std::ostream& out) {
   const util::RunningStats& st = reg.histogram_stats(id);
   const util::Histogram& bins = reg.histogram_bins(id);
+  // Empty stats report min=+inf/max=-inf; render those as 0 so the JSON
+  // stays standard (and matches the historical empty-histogram output).
+  const double min = st.count() > 0 ? st.min() : 0.0;
+  const double max = st.count() > 0 ? st.max() : 0.0;
   out << "{\"count\":" << st.count() << ",\"mean\":" << format_double(st.mean())
       << ",\"stddev\":" << format_double(st.stddev())
-      << ",\"min\":" << format_double(st.min()) << ",\"max\":" << format_double(st.max())
-      << ",\"sum\":" << format_double(st.sum()) << ",\"bins\":[";
+      << ",\"min\":" << format_double(min) << ",\"max\":" << format_double(max)
+      << ",\"sum\":" << format_double(st.sum())
+      << ",\"nan\":" << bins.nan_count() << ",\"bins\":[";
   for (std::size_t i = 0; i < bins.bins(); ++i) {
     if (i) out << ',';
     out << bins.bin_count(i);
@@ -103,12 +108,16 @@ void write_metrics_csv(const MetricsRegistry& reg, std::ostream& out) {
         break;
       case MetricKind::kHistogram: {
         const util::RunningStats& st = reg.histogram_stats(id);
+        const double min = st.count() > 0 ? st.min() : 0.0;
+        const double max = st.count() > 0 ? st.max() : 0.0;
         out << "histogram," << name << ",count," << st.count() << '\n';
         out << "histogram," << name << ",mean," << format_double(st.mean()) << '\n';
         out << "histogram," << name << ",stddev," << format_double(st.stddev()) << '\n';
-        out << "histogram," << name << ",min," << format_double(st.min()) << '\n';
-        out << "histogram," << name << ",max," << format_double(st.max()) << '\n';
+        out << "histogram," << name << ",min," << format_double(min) << '\n';
+        out << "histogram," << name << ",max," << format_double(max) << '\n';
         out << "histogram," << name << ",sum," << format_double(st.sum()) << '\n';
+        out << "histogram," << name << ",nan," << reg.histogram_bins(id).nan_count()
+            << '\n';
         break;
       }
     }

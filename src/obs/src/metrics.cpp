@@ -1,5 +1,7 @@
 #include "ev/obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace ev::obs {
@@ -36,6 +38,35 @@ MetricId MetricsRegistry::histogram(std::string_view name, double lo, double hi,
   return id;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (MetricId from = 0; from < other.size(); ++from) {
+    const std::string& name = other.name(from);
+    const Entry& source = other.entries_[from];
+    switch (source.kind) {
+      case MetricKind::kCounter:
+        entries_[counter(name)].count += source.count;
+        break;
+      case MetricKind::kGauge: {
+        // A gauge new to this registry copies the shard's value: its fresh
+        // 0.0 must not clip a negative peak via the max below.
+        const bool known = names_.find(name) != kInvalidId;
+        Entry& dest = entries_[gauge(name)];
+        dest.gauge = known ? std::max(dest.gauge, source.gauge) : source.gauge;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const HistogramData& src = other.histograms_[source.histogram_index];
+        const MetricId id = histogram(name, src.bins.lo(), src.bins.hi(),
+                                      src.bins.bins());
+        HistogramData& dest = histograms_[entries_[id].histogram_index];
+        dest.bins.merge(src.bins);  // throws on a shape mismatch
+        dest.stats.merge(src.stats);
+        break;
+      }
+    }
+  }
+}
+
 void MetricsRegistry::add(MetricId id, std::uint64_t delta) noexcept {
   if (id >= entries_.size() || entries_[id].kind != MetricKind::kCounter) return;
   entries_[id].count += delta;
@@ -54,8 +85,8 @@ void MetricsRegistry::set_max(MetricId id, double value) noexcept {
 void MetricsRegistry::observe(MetricId id, double value) noexcept {
   if (id >= entries_.size() || entries_[id].kind != MetricKind::kHistogram) return;
   HistogramData& h = histograms_[entries_[id].histogram_index];
-  h.bins.add(value);
-  h.stats.add(value);
+  h.bins.add(value);  // NaN lands in the histogram's counted nan bucket
+  if (!std::isnan(value)) h.stats.add(value);
 }
 
 const MetricsRegistry::Entry& MetricsRegistry::checked(MetricId id,

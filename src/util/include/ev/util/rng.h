@@ -51,10 +51,21 @@ class Rng {
     return lo + (hi - lo) * uniform();
   }
 
-  /// Uniform integer in the closed range [lo, hi].
+  /// Uniform integer in the closed range [lo, hi]. Always consumes exactly
+  /// one next_u64() draw, so the stream position is range-independent.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next_u64() % span);
+    // Subtract in the unsigned domain: hi - lo as int64 overflows (UB) for
+    // wide ranges. span wraps to 0 when [lo, hi] covers all 2^64 values —
+    // there the raw draw already is the answer, and `% 0` would divide by
+    // zero. Every other range takes the historical path unchanged, so
+    // same-seed streams (and the golden JSONs derived from them) are stable.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t draw = next_u64();
+    if (span == 0) return static_cast<std::int64_t>(draw);
+    // lo + offset stays in the unsigned domain too: for spans wider than
+    // int64's positive range the signed addition could itself overflow.
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw % span);
   }
 
   /// Standard normal variate (Marsaglia polar method).

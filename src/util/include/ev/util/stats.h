@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace ev::util {
@@ -15,10 +16,16 @@ class RunningStats {
   /// Adds one observation.
   void add(double x) noexcept;
 
+  /// Folds \p other into this accumulator (parallel Welford / Chan's
+  /// formula). The combination is symmetric: merge(A, B) and merge(B, A)
+  /// produce bit-identical state, so order-independent aggregation (e.g.
+  /// per-seed campaign shards) is deterministic for any shard count.
+  void merge(const RunningStats& other) noexcept;
+
   /// Number of observations added so far.
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   /// Arithmetic mean; 0 if empty.
-  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
   /// Unbiased sample variance; 0 if fewer than two observations.
   [[nodiscard]] double variance() const noexcept;
   /// Sample standard deviation.
@@ -37,8 +44,10 @@ class RunningStats {
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  // Empty-state identities of min/max, so the documented "+inf/-inf if
+  // empty" contract holds and merge() needs no empty special case.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Batch series that retains all samples so order statistics are available.
@@ -69,7 +78,9 @@ class SampleSeries {
 };
 
 /// Equal-width histogram over [lo, hi); samples outside are clamped to the
-/// boundary bins. Used to render latency distributions in bench output.
+/// boundary bins and NaN observations land in a dedicated counted bucket,
+/// so bin_count(0..bins-1) + nan_count() == total(). Used to render latency
+/// distributions in bench output.
 class Histogram {
  public:
   /// Creates a histogram with \p bins equal-width buckets covering [lo, hi).
@@ -77,20 +88,31 @@ class Histogram {
 
   /// Adds one observation.
   void add(double x) noexcept;
+  /// Folds \p other's buckets into this histogram. Both must cover the same
+  /// [lo, hi) range with the same bucket count; throws std::invalid_argument
+  /// otherwise. Counter addition makes the merge order-independent.
+  void merge(const Histogram& other);
   /// Count in bucket \p i.
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   /// Number of buckets.
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   /// Center value of bucket \p i.
   [[nodiscard]] double bin_center(std::size_t i) const noexcept;
-  /// Total observations added.
+  /// Lower edge of the covered range.
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  /// Upper edge of the covered range.
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  /// Total observations added (including NaN observations).
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// NaN observations, counted apart from the value buckets.
+  [[nodiscard]] std::size_t nan_count() const noexcept { return nan_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 }  // namespace ev::util

@@ -9,18 +9,34 @@
 namespace ev::util {
 
 void RunningStats::add(double x) noexcept {
-  if (n_ == 0) {
-    min_ = x;
-    max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
+  // min_/max_ start at +inf/-inf, so the first observation needs no branch.
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   ++n_;
   sum_ += x;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  // Weighted-mean form of Chan's parallel update: every subexpression is
+  // symmetric in (a, b) up to IEEE-commutative ops, so merge(A, B) and
+  // merge(B, A) land on bit-identical state.
+  mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+  m2_ = (m2_ + other.m2_) + delta * delta * (na * nb / (na + nb));
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
 }
 
 double RunningStats::variance() const noexcept {
@@ -83,11 +99,25 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 }
 
 void Histogram::add(double x) noexcept {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  // Clamp in the double domain: converting a value outside the target
+  // integer's range (e.g. ±1e308, ±inf) to an integer is undefined behavior.
+  const double pos = std::clamp((x - lo_) / width, 0.0,
+                                static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: incompatible ranges or bin counts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  nan_ += other.nan_;
 }
 
 double Histogram::bin_center(std::size_t i) const noexcept {

@@ -1,0 +1,34 @@
+# Determinism contract of the parallel campaign runner, run under ctest
+# (see tests/CMakeLists.txt): the same seed ladder through `evsys campaign`
+# must render a byte-identical report for any --jobs value.
+# Expects -DEVSYS=<path to the evsys binary> and -DSOURCE_DIR=<repo root>.
+if(NOT DEFINED EVSYS OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DEVSYS=<binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+set(scenario "${SOURCE_DIR}/examples/scenarios/city_commute.scn")
+set(out_serial "${CMAKE_CURRENT_BINARY_DIR}/campaign_jobs1.json")
+set(out_parallel "${CMAKE_CURRENT_BINARY_DIR}/campaign_jobs4.json")
+
+foreach(jobs_out IN ITEMS "1;${out_serial}" "4;${out_parallel}")
+  list(GET jobs_out 0 jobs)
+  list(GET jobs_out 1 out)
+  execute_process(
+    COMMAND "${EVSYS}" campaign "${scenario}" --seeds 8 --jobs "${jobs}"
+            --out "${out}"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys campaign --jobs ${jobs} failed with ${code}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${out_serial}" "${out_parallel}"
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+    "campaign report differs between --jobs 1 and --jobs 4 — the parallel "
+    "fold is not deterministic")
+endif()
+message(STATUS "deterministic: --jobs 1 and --jobs 4 reports byte-identical")

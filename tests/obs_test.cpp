@@ -3,7 +3,10 @@
 // and exporter round-trips.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,6 +117,68 @@ TEST(Metrics, RegistrationOrderIsDeterministic) {
     EXPECT_EQ(a.name(id), b.name(id));
     EXPECT_EQ(a.kind(id), b.kind(id));
   }
+}
+
+TEST(Metrics, ObserveNanCountsBucketWithoutPoisoningStats) {
+  MetricsRegistry reg;
+  const MetricId h = reg.histogram("lat", 0.0, 10.0, 4);
+  reg.observe(h, 5.0);
+  reg.observe(h, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(reg.histogram_bins(h).nan_count(), 1u);
+  EXPECT_EQ(reg.histogram_bins(h).total(), 2u);
+  EXPECT_EQ(reg.histogram_stats(h).count(), 1u);  // NaN never reaches the moments
+  EXPECT_DOUBLE_EQ(reg.histogram_stats(h).mean(), 5.0);
+  EXPECT_FALSE(std::isnan(reg.histogram_stats(h).min()));
+}
+
+TEST(Metrics, MergeSumsCountersMaxesGaugesCombinesHistograms) {
+  MetricsRegistry a, b;
+  a.add(a.counter("frames"), 3);
+  b.add(b.counter("frames"), 4);
+  a.set(a.gauge("depth.peak"), 2.0);
+  b.set(b.gauge("depth.peak"), 5.0);
+  a.observe(a.histogram("lat", 0.0, 10.0, 4), 1.0);
+  b.observe(b.histogram("lat", 0.0, 10.0, 4), 9.0);
+  b.set(b.gauge("only_b"), -4.0);  // unseen gauge copies, never maxes vs 0
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value(a.counter("frames")), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge_value(a.gauge("depth.peak")), 5.0);
+  EXPECT_DOUBLE_EQ(a.gauge_value(a.gauge("only_b")), -4.0);
+  const MetricId h = a.histogram("lat", 0.0, 10.0, 4);
+  EXPECT_EQ(a.histogram_bins(h).total(), 2u);
+  EXPECT_EQ(a.histogram_stats(h).count(), 2u);
+  EXPECT_EQ(a.histogram_stats(h).min(), 1.0);
+  EXPECT_EQ(a.histogram_stats(h).max(), 9.0);
+}
+
+TEST(Metrics, MergeSnapshotIsOrderIndependent) {
+  // Campaign shards come from the same scenario code, so they register the
+  // same names in the same order but accumulate different values. The
+  // aggregate must not depend on which shard the fold sees first:
+  // merge(A, B) and merge(B, A) export byte-identical JSON.
+  const auto make_shard = [](std::uint64_t weight, int samples) {
+    MetricsRegistry reg;
+    reg.add(reg.counter("bus.frames"), 11 * weight);
+    reg.set(reg.gauge("queue.peak"), 3.0 / static_cast<double>(weight));
+    const MetricId h = reg.histogram("lat", 0.0, 100.0, 8);
+    for (int k = 0; k < samples; ++k)
+      reg.observe(h, 1.7 * k * static_cast<double>(weight));
+    reg.add(reg.counter("bus.dropped"), weight);
+    return reg;
+  };
+  const auto render = [](const MetricsRegistry& first,
+                         const MetricsRegistry& second) {
+    MetricsRegistry merged;
+    merged.merge(first);
+    merged.merge(second);
+    std::ostringstream out;
+    write_metrics_json(merged, out);
+    return out.str();
+  };
+  const MetricsRegistry a = make_shard(1, 50);
+  const MetricsRegistry b = make_shard(3, 20);
+  EXPECT_EQ(render(a, b), render(b, a));
 }
 
 // ------------------------------------------------------------ span trace ----

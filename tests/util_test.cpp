@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "ev/util/crc.h"
 #include "ev/util/math.h"
@@ -100,6 +102,41 @@ TEST(Rng, UniformIntCoversRange) {
   for (bool s : seen) EXPECT_TRUE(s);
 }
 
+TEST(Rng, UniformIntFullRangeReturnsRawDraw) {
+  // lo = INT64_MIN, hi = INT64_MAX makes the span wrap to zero; the draw
+  // must come back unreduced instead of hitting a modulo by zero.
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  Rng a(21);
+  Rng b(21);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_int(lo, hi), static_cast<std::int64_t>(b.next_u64()));
+}
+
+TEST(Rng, UniformIntNearFullRangeStaysInBounds) {
+  // One below the full span: still wider than any positive int64, so the
+  // reduction has to happen in the unsigned domain to avoid overflow.
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max() - 1;
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Rng, UniformIntConsumesOneDrawPerCall) {
+  // The full-range special case must not change how much state a call
+  // advances, so downstream draws stay aligned across range choices.
+  Rng a(23);
+  Rng b(23);
+  (void)a.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                      std::numeric_limits<std::int64_t>::max());
+  (void)b.uniform_int(0, 5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, NormalMomentsApproximate) {
   Rng rng(11);
   RunningStats stats;
@@ -140,8 +177,73 @@ TEST(RunningStats, BasicMoments) {
 TEST(RunningStats, EmptyIsSafe) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(RunningStats, EmptyMinMaxAreIdentityElements) {
+  // The documented empty-state contract: min() = +inf and max() = -inf, so
+  // any real sample (or merge) replaces them. The old zero-initialised
+  // state silently absorbed all-positive or all-negative streams.
+  RunningStats s;
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+  s.add(4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  RunningStats negative;
+  negative.add(-3.0);
+  EXPECT_EQ(negative.min(), -3.0);
+  EXPECT_EQ(negative.max(), -3.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  RunningStats whole, left, right;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.37 * i - 5.0;
+    whole.add(x);
+    (i < 17 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+}
+
+TEST(RunningStats, MergeIsBitwiseCommutative) {
+  // The campaign fold depends on merge(A,B) == merge(B,A) down to the last
+  // bit — every subexpression in the merge is symmetric in its operands.
+  RunningStats a, b;
+  for (int i = 0; i < 23; ++i) a.add(1.0 / (i + 1));
+  for (int i = 0; i < 9; ++i) b.add(-7.25 * i + 0.125);
+  RunningStats ab = a;
+  ab.merge(b);
+  RunningStats ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.mean(), ba.mean());
+  EXPECT_EQ(ab.variance(), ba.variance());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningStats empty;
+  RunningStats from_empty = empty;
+  from_empty.merge(filled);
+  EXPECT_EQ(from_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(from_empty.mean(), 2.0);
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_EQ(filled.min(), 1.0);
+  EXPECT_EQ(filled.max(), 3.0);
 }
 
 TEST(SampleSeries, PercentilesExact) {
@@ -171,6 +273,51 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(h.bin_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, ExtremeValuesClampWithoutOverflow) {
+  // ±1e308 (and ±inf) used to be cast to an integer bin index while far
+  // outside its range — undefined behaviour. They must clamp in the double
+  // domain first and land in the edge bins.
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e308);
+  h.add(-1e308);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
+TEST(Histogram, NanLandsInDedicatedBucket) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::nan(""));
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  std::size_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.bin_count(i);
+  EXPECT_EQ(binned + h.nan_count(), h.total());
+}
+
+TEST(Histogram, MergeAddsCountsAndChecksShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(1.5);
+  b.add(9.9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(4), 1u);
+  EXPECT_EQ(a.nan_count(), 1u);
+  Histogram other_shape(0.0, 10.0, 6);
+  EXPECT_THROW(a.merge(other_shape), std::invalid_argument);
+  Histogram other_range(0.0, 12.0, 5);
+  EXPECT_THROW(a.merge(other_range), std::invalid_argument);
 }
 
 TEST(Histogram, RejectsBadConstruction) {

@@ -6,9 +6,11 @@
 //
 //   $ evsys run examples/scenarios/city_commute.scn
 //   $ evsys run limp.scn --out limp.result.json --metrics limp
+//   $ evsys campaign city.scn --seeds 8 --jobs 4       # parallel seed ladder
 //   $ evsys check examples/scenarios/city_commute.scn   # static analysis
 //   $ evsys print examples/scenarios/city_commute.scn   # canonical round-trip
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -16,6 +18,7 @@
 #include <string>
 
 #include "ev/analysis/analyzer.h"
+#include "ev/campaign/campaign.h"
 #include "ev/config/scenario.h"
 #include "ev/core/scenario.h"
 #include "ev/core/subsystems.h"
@@ -25,6 +28,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run <scenario.scn> [--out <file>] [--metrics <base>]\n"
+               "       %s campaign <scenario.scn> [--seeds <n>] [--first <seed>]\n"
+               "                [--stride <n>] [--jobs <n>] [--out <file>]\n"
                "       %s check <scenario.scn> [--out <file>]\n"
                "       %s print <scenario.scn>\n"
                "       %s template\n"
@@ -34,6 +39,14 @@ int usage(const char* argv0) {
                "            stdout (or --out <file>). --metrics <base> also\n"
                "            exports <base>.metrics.json/.metrics.csv from the\n"
                "            observability subsystem.\n"
+               "  campaign  run the scenario once per rung of the seed ladder\n"
+               "            first + i*stride (i < seeds, default 8 seeds from 1)\n"
+               "            on --jobs worker threads (default 1; 0 = one per\n"
+               "            hardware thread), each rung on a private simulator,\n"
+               "            and write one deterministic campaign report JSON —\n"
+               "            per-seed digests, cross-seed min/mean/max tables,\n"
+               "            and the merged metrics — to stdout (or --out).\n"
+               "            Output is byte-identical for any --jobs value.\n"
                "  check     statically analyze the composed vehicle without\n"
                "            running it: schedulability bounds per ECU and bus,\n"
                "            plus wiring lints. Diagnostics JSON goes to stdout\n"
@@ -42,8 +55,32 @@ int usage(const char* argv0) {
                "  print     parse + validate a scenario and print its canonical\n"
                "            text form (a lossless round-trip).\n"
                "  template  print a default scenario to start from.\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+int cmd_campaign(const std::string& path, const ev::campaign::CampaignOptions& options,
+                 const std::string& out_path) {
+  const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
+  const ev::campaign::CampaignResult result =
+      ev::campaign::run_scenario_campaign(spec, options);
+
+  std::fprintf(stderr, "evsys campaign: %s — %d seed(s) from %llu, stride %llu\n",
+               result.scenario.c_str(), result.seeds.count,
+               static_cast<unsigned long long>(result.seeds.first),
+               static_cast<unsigned long long>(result.seeds.stride));
+
+  if (out_path.empty()) {
+    ev::campaign::write_campaign_json(result, std::cout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "evsys: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  ev::campaign::write_campaign_json(result, out);
+  return out ? 0 : 1;
 }
 
 int cmd_check(const std::string& path, const std::string& out_path) {
@@ -140,6 +177,32 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_check(argv[2], out_path);
+    }
+    if (command == "campaign") {
+      if (argc < 3) return usage(argv[0]);
+      ev::campaign::CampaignOptions options;
+      options.seeds.count = 8;
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+          options.seeds.count = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--first") == 0 && i + 1 < argc) {
+          options.seeds.first = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+          options.seeds.stride = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          options.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (options.seeds.count < 1 || options.seeds.stride == 0) {
+        std::fprintf(stderr, "evsys: --seeds must be >= 1 and --stride >= 1\n");
+        return 2;
+      }
+      return cmd_campaign(argv[2], options, out_path);
     }
     if (command == "run") {
       if (argc < 3) return usage(argv[0]);
