@@ -146,6 +146,10 @@ CampaignReport run_campaign(std::uint64_t seed, ev::obs::MetricsRegistry* metric
   report.bus_corrupted = can.fault_corrupted_count();
   report.bus_busoff_rejected = can.busoff_rejected_count();
   report.bms_faults = bms.safety().faults().size();
+  // The campaign is over: detach the observer so the RAII teardown of the
+  // actors below (their owned periodics cancel on destruction) stays out of
+  // the exported kernel counters.
+  sim.set_observer(nullptr);
   return report;
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Wall-time regression gate over benchmark metric snapshots.
+
+Compares every BENCH_*.json present in both a baseline directory (committed
+under bench/baselines/) and a candidate directory (freshly produced by the
+bench binaries with EVSYS_BENCH_METRICS_DIR). Only gauges whose name ends in
+``_wall_s`` are compared — the deterministic artifacts (event counts,
+physics gauges) are pinned byte-for-byte by Golden.HotPathArtifacts instead
+and must never drift at all.
+
+A candidate wall time more than --threshold (default 15%) above baseline
+fails the gate; --warn-only downgrades failures to warnings, which is how
+the first CI run seeds confidence before the committed baselines reflect CI
+hardware. Improvements are reported, never penalised.
+
+Exit codes: 0 ok (or warn-only), 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_wall_gauges(path: Path) -> dict[str, float]:
+    try:
+        snapshot = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perfgate: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2) from err
+    gauges = snapshot.get("gauges", {})
+    return {
+        name: float(value)
+        for name, value in gauges.items()
+        if name.endswith("wall_s") and isinstance(value, (int, float))
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--candidate", required=True, type=Path,
+                        help="directory of freshly produced BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional slowdown that fails the gate (default 0.15)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (first-run seeding)")
+    args = parser.parse_args()
+
+    for directory in (args.baseline, args.candidate):
+        if not directory.is_dir():
+            print(f"perfgate: {directory} is not a directory", file=sys.stderr)
+            return 2
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"perfgate: no BENCH_*.json baselines in {args.baseline} — "
+              "nothing to gate (commit baselines to arm the gate)")
+        return 0
+
+    regressions: list[str] = []
+    compared = 0
+    for base_path in baselines:
+        cand_path = args.candidate / base_path.name
+        if not cand_path.is_file():
+            print(f"perfgate: {base_path.name}: no candidate produced — skipped")
+            continue
+        base = load_wall_gauges(base_path)
+        cand = load_wall_gauges(cand_path)
+        if not base:
+            print(f"perfgate: {base_path.name}: baseline has no *_wall_s gauges — skipped")
+            continue
+        for name, base_s in sorted(base.items()):
+            if name not in cand:
+                regressions.append(f"{base_path.name}: gauge {name} vanished from candidate")
+                continue
+            cand_s = cand[name]
+            compared += 1
+            if base_s <= 0.0:
+                print(f"  ? {name}: baseline {base_s:.6f}s not positive — skipped")
+                continue
+            delta = cand_s / base_s - 1.0
+            marker = "OK"
+            if delta > args.threshold:
+                marker = "REGRESSION"
+                regressions.append(
+                    f"{base_path.name}: {name} {base_s:.3f}s -> {cand_s:.3f}s "
+                    f"(+{delta:.0%}, threshold +{args.threshold:.0%})")
+            elif delta < 0:
+                marker = "improved"
+            print(f"  {marker:>10}  {name}: {base_s:.3f}s -> {cand_s:.3f}s ({delta:+.1%})")
+
+    print(f"perfgate: compared {compared} wall-time gauge(s), "
+          f"{len(regressions)} regression(s)")
+    for line in regressions:
+        print(f"perfgate: {line}", file=sys.stderr)
+    if regressions and not args.warn_only:
+        return 1
+    if regressions:
+        print("perfgate: --warn-only set — reporting without failing")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,6 +93,9 @@ class Cell {
   [[nodiscard]] double charge_coulomb() const noexcept {
     return soc_ * capacity_ah_ * 3600.0;
   }
+  /// Polarization branch voltages [V] (state handed to CellBatch adoption).
+  [[nodiscard]] double v_rc1() const noexcept { return v_rc1_; }
+  [[nodiscard]] double v_rc2() const noexcept { return v_rc2_; }
   /// Total absolute charge throughput so far [Ah].
   [[nodiscard]] double throughput_ah() const noexcept { return throughput_ah_; }
   /// Total ohmic + polarization energy dissipated in the cell so far [J].
@@ -101,6 +104,11 @@ class Cell {
   [[nodiscard]] const CellParameters& params() const noexcept { return params_; }
   /// OCV characteristic.
   [[nodiscard]] const OcvCurve& ocv_curve() const noexcept { return *curve_; }
+  /// Shared handle to the OCV characteristic (lets a CellBatch keep the
+  /// chemistry shared instead of copying the curve per cell).
+  [[nodiscard]] std::shared_ptr<const OcvCurve> shared_curve() const noexcept {
+    return curve_;
+  }
 
  private:
   CellParameters params_;

@@ -1,0 +1,193 @@
+/// \file cell_batch.h
+/// Structure-of-arrays storage for the cells of one series module. The cell
+/// model itself is unchanged from ev::battery::Cell — same second-order
+/// Thevenin circuit, thermal node, and stress-weighted ageing, evaluated in
+/// the same per-cell operation order so results stay bit-identical — but the
+/// state lives in parallel vectors and step_all() integrates every cell in
+/// one tight loop instead of bouncing through an object per cell.
+///
+/// The polarization decay factors exp(-dt/tau) depend only on dt and the RC
+/// parameters, so they are cached per cell and recomputed only when the step
+/// size changes; with a fixed simulation step this removes the two exp()
+/// calls per cell per step that dominate the AoS model's cost.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ev/battery/cell.h"
+
+namespace ev::battery {
+
+/// Aggregated safety outcome of one step_all() over the whole batch.
+struct BatchStatus {
+  CellStatus worst;             ///< OR of all per-cell flags.
+  std::size_t alarm_count = 0;  ///< Number of cells with any flag raised.
+};
+
+/// SoA cell state for a fixed set of cells. Constructed by adopting fully
+/// built Cell objects (so manufacturing spread, chemistry, and initial
+/// conditions are applied exactly as before); afterwards all reads and
+/// updates go through per-index accessors or the batched step.
+class CellBatch {
+ public:
+  CellBatch() = default;
+  /// Adopts \p cells (at least one) into SoA storage.
+  explicit CellBatch(const std::vector<Cell>& cells);
+
+  /// Number of cells in the batch.
+  [[nodiscard]] std::size_t size() const noexcept { return soc_.size(); }
+
+  /// Advances every cell by \p dt_s. \p current_a and \p extra_heat_w give
+  /// the per-cell current (positive = discharge) and externally generated
+  /// heat; both spans must have size() elements.
+  BatchStatus step_all(std::span<const double> current_a, std::span<const double> extra_heat_w,
+                       double dt_s, double ambient_c);
+
+  /// Per-cell reads mirroring the Cell accessors (same formulas).
+  [[nodiscard]] double soc(std::size_t i) const noexcept { return soc_[i]; }
+  [[nodiscard]] double capacity_ah(std::size_t i) const noexcept { return capacity_ah_[i]; }
+  [[nodiscard]] double v_rc1(std::size_t i) const noexcept { return v_rc1_[i]; }
+  [[nodiscard]] double v_rc2(std::size_t i) const noexcept { return v_rc2_[i]; }
+  [[nodiscard]] double temperature_c(std::size_t i) const noexcept { return temp_c_[i]; }
+  [[nodiscard]] double throughput_ah(std::size_t i) const noexcept { return throughput_ah_[i]; }
+  [[nodiscard]] double dissipated_j(std::size_t i) const noexcept { return dissipated_j_[i]; }
+  [[nodiscard]] const CellParameters& params(std::size_t i) const noexcept {
+    return params_[i];
+  }
+  [[nodiscard]] const OcvCurve& ocv_curve(std::size_t i) const noexcept { return *curves_[i]; }
+  [[nodiscard]] double open_circuit_voltage(std::size_t i) const noexcept {
+    return curves_[i]->voltage(soc_[i]);
+  }
+  [[nodiscard]] double terminal_voltage(std::size_t i, double current_a) const noexcept {
+    return open_circuit_voltage(i) - current_a * params_[i].r0_ohm - v_rc1_[i] - v_rc2_[i];
+  }
+  [[nodiscard]] double charge_coulomb(std::size_t i) const noexcept {
+    return soc_[i] * capacity_ah_[i] * 3600.0;
+  }
+  [[nodiscard]] double state_of_health(std::size_t i) const noexcept {
+    return capacity_ah_[i] / params_[i].capacity_ah;
+  }
+
+  /// Lossless direct charge transfer into (+) or out of (-) cell \p i.
+  void inject_charge(std::size_t i, double coulombs) noexcept;
+
+ private:
+  void refresh_coefficients(double dt_s);
+
+  // Hot per-cell state, one lane per quantity.
+  std::vector<double> soc_;
+  std::vector<double> capacity_ah_;
+  std::vector<double> v_rc1_;
+  std::vector<double> v_rc2_;
+  std::vector<double> temp_c_;
+  std::vector<double> throughput_ah_;
+  std::vector<double> dissipated_j_;
+  // Cached polarization coefficients for the current step size:
+  // a = exp(-dt/tau), k = r * (1 - a) — the exact factors Cell::step builds.
+  std::vector<double> a1_;
+  std::vector<double> k1_;
+  std::vector<double> a2_;
+  std::vector<double> k2_;
+  double cached_dt_s_ = -1.0;
+  // Cold per-cell data: full parameter block and chemistry (rarely touched
+  // inside the step loop, needed verbatim by params()/ocv_curve()).
+  std::vector<CellParameters> params_;
+  std::vector<std::shared_ptr<const OcvCurve>> curves_;
+};
+
+/// Read-only view of one cell inside a CellBatch, mirroring the Cell read
+/// API one-for-one so existing `module.cell(i).<accessor>()` call sites keep
+/// compiling unchanged. Views are cheap value types (pointer + index) and
+/// must not outlive their batch.
+class CellConstView {
+ public:
+  CellConstView(const CellBatch& batch, std::size_t index) noexcept
+      : batch_(&batch), index_(index) {}
+
+  [[nodiscard]] double soc() const noexcept { return batch_->soc(index_); }
+  [[nodiscard]] double terminal_voltage(double current_a = 0.0) const noexcept {
+    return batch_->terminal_voltage(index_, current_a);
+  }
+  [[nodiscard]] double open_circuit_voltage() const noexcept {
+    return batch_->open_circuit_voltage(index_);
+  }
+  [[nodiscard]] double temperature_c() const noexcept {
+    return batch_->temperature_c(index_);
+  }
+  [[nodiscard]] double capacity_ah() const noexcept { return batch_->capacity_ah(index_); }
+  [[nodiscard]] double state_of_health() const noexcept {
+    return batch_->state_of_health(index_);
+  }
+  [[nodiscard]] double charge_coulomb() const noexcept {
+    return batch_->charge_coulomb(index_);
+  }
+  [[nodiscard]] double throughput_ah() const noexcept {
+    return batch_->throughput_ah(index_);
+  }
+  [[nodiscard]] double dissipated_j() const noexcept { return batch_->dissipated_j(index_); }
+  [[nodiscard]] double v_rc1() const noexcept { return batch_->v_rc1(index_); }
+  [[nodiscard]] double v_rc2() const noexcept { return batch_->v_rc2(index_); }
+  [[nodiscard]] const CellParameters& params() const noexcept {
+    return batch_->params(index_);
+  }
+  [[nodiscard]] const OcvCurve& ocv_curve() const noexcept {
+    return batch_->ocv_curve(index_);
+  }
+
+ private:
+  const CellBatch* batch_;
+  std::size_t index_;
+};
+
+/// Mutable view of one cell inside a CellBatch: everything CellConstView
+/// offers plus the charge-injection hook used by balancing hardware and
+/// fault-injection tests.
+class CellView {
+ public:
+  CellView(CellBatch& batch, std::size_t index) noexcept : batch_(&batch), index_(index) {}
+
+  [[nodiscard]] double soc() const noexcept { return batch_->soc(index_); }
+  [[nodiscard]] double terminal_voltage(double current_a = 0.0) const noexcept {
+    return batch_->terminal_voltage(index_, current_a);
+  }
+  [[nodiscard]] double open_circuit_voltage() const noexcept {
+    return batch_->open_circuit_voltage(index_);
+  }
+  [[nodiscard]] double temperature_c() const noexcept {
+    return batch_->temperature_c(index_);
+  }
+  [[nodiscard]] double capacity_ah() const noexcept { return batch_->capacity_ah(index_); }
+  [[nodiscard]] double state_of_health() const noexcept {
+    return batch_->state_of_health(index_);
+  }
+  [[nodiscard]] double charge_coulomb() const noexcept {
+    return batch_->charge_coulomb(index_);
+  }
+  [[nodiscard]] double throughput_ah() const noexcept {
+    return batch_->throughput_ah(index_);
+  }
+  [[nodiscard]] double dissipated_j() const noexcept { return batch_->dissipated_j(index_); }
+  [[nodiscard]] double v_rc1() const noexcept { return batch_->v_rc1(index_); }
+  [[nodiscard]] double v_rc2() const noexcept { return batch_->v_rc2(index_); }
+  [[nodiscard]] const CellParameters& params() const noexcept {
+    return batch_->params(index_);
+  }
+  [[nodiscard]] const OcvCurve& ocv_curve() const noexcept {
+    return batch_->ocv_curve(index_);
+  }
+
+  /// Lossless direct charge transfer into (+) or out of (-) this cell.
+  void inject_charge(double coulombs) noexcept { batch_->inject_charge(index_, coulombs); }
+
+  /// A mutable view converts to a read-only one.
+  operator CellConstView() const noexcept { return CellConstView{*batch_, index_}; }  // NOLINT
+
+ private:
+  CellBatch* batch_;
+  std::size_t index_;
+};
+
+}  // namespace ev::battery

@@ -2,12 +2,18 @@
 /// A battery module: series-connected cells plus the per-cell balancing
 /// hardware (passive bleed resistors and an active charge-transfer unit)
 /// that the module-management devices of the paper's Fig. 2 control.
+///
+/// Cell state is stored structure-of-arrays (CellBatch) and advanced with one
+/// batched loop per step; cell(i) hands out lightweight views with the same
+/// read/inject API the per-object Cell model exposed, so BMS, sensor, and
+/// fault-injection call sites are unchanged.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "ev/battery/cell.h"
+#include "ev/battery/cell_batch.h"
 
 namespace ev::battery {
 
@@ -30,7 +36,7 @@ struct BalancingHardware {
 class SeriesModule {
  public:
   /// Builds a module from pre-constructed cells (at least one) and the given
-  /// balancing hardware.
+  /// balancing hardware. The cells are adopted into SoA batch storage.
   SeriesModule(std::vector<Cell> cells, BalancingHardware hw = {});
 
   /// Engages (true) or releases (false) the passive bleed switch on cell \p i.
@@ -56,11 +62,19 @@ class SeriesModule {
   /// Module terminal voltage under \p current_a [V].
   [[nodiscard]] double terminal_voltage(double current_a = 0.0) const noexcept;
   /// Number of series cells.
-  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
-  /// Read access to cell \p i.
-  [[nodiscard]] const Cell& cell(std::size_t i) const { return cells_.at(i); }
-  /// Mutable access to cell \p i (used by fault-injection tests).
-  [[nodiscard]] Cell& cell(std::size_t i) { return cells_.at(i); }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return batch_.size(); }
+  /// Read view of cell \p i.
+  [[nodiscard]] CellConstView cell(std::size_t i) const {
+    check_index(i);
+    return CellConstView{batch_, i};
+  }
+  /// Mutable view of cell \p i (used by fault-injection tests).
+  [[nodiscard]] CellView cell(std::size_t i) {
+    check_index(i);
+    return CellView{batch_, i};
+  }
+  /// The underlying SoA cell storage.
+  [[nodiscard]] const CellBatch& cells() const noexcept { return batch_; }
   /// Lowest true SoC across cells.
   [[nodiscard]] double min_soc() const noexcept;
   /// Highest true SoC across cells.
@@ -75,7 +89,9 @@ class SeriesModule {
   [[nodiscard]] const BalancingHardware& hardware() const noexcept { return hw_; }
 
  private:
-  std::vector<Cell> cells_;
+  void check_index(std::size_t i) const;
+
+  CellBatch batch_;
   std::vector<bool> bleed_on_;
   BalancingHardware hw_;
   bool transfer_active_ = false;
@@ -83,6 +99,10 @@ class SeriesModule {
   std::size_t transfer_to_ = 0;
   double bleed_energy_j_ = 0.0;
   double transfer_loss_j_ = 0.0;
+  // Per-cell current/heat staging for the batched step; member scratch so the
+  // steady-state step performs no allocation.
+  std::vector<double> scratch_current_;
+  std::vector<double> scratch_heat_;
 };
 
 }  // namespace ev::battery

@@ -66,7 +66,16 @@ class ModuleManager {
   void inject_temperature_fault(std::size_t cell, const battery::SensorFault& fault);
 
  private:
-  std::vector<std::unique_ptr<SocEstimator>> estimators_;
+  // Every cell of a module runs the same estimator with the same believed
+  // parameters, so the per-cell estimator state is just the estimate itself
+  // (stored in estimates_) and the shared parameters live once here; step()
+  // applies the update law (see soc_estimator.h) inline over the whole
+  // module instead of virtual-dispatching per cell.
+  EstimatorKind estimator_kind_;
+  double capacity_ah_;
+  double r0_ohm_;
+  double observer_gain_ = 0.02;  // VoltageCorrectedEstimator's default gain
+  std::shared_ptr<const battery::OcvCurve> curve_;
   std::vector<battery::VoltageSensor> voltage_sensors_;
   std::vector<battery::TemperatureSensor> temperature_sensors_;
   std::unique_ptr<BalancingStrategy> strategy_;

@@ -22,7 +22,7 @@ BatteryManager::BatteryManager(const battery::Pack& pack, BmsConfig config)
   managers_.reserve(pack.module_count());
   for (std::size_t m = 0; m < pack.module_count(); ++m) {
     const battery::SeriesModule& mod = pack.module(m);
-    const battery::Cell& c0 = mod.cell(0);
+    const auto c0 = mod.cell(0);
     auto curve = std::make_shared<const battery::OcvCurve>(c0.ocv_curve());
     managers_.emplace_back(mod.cell_count(), c0.params().capacity_ah,
                            config.initial_soc_estimate, config.estimator, std::move(curve),

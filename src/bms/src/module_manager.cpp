@@ -3,40 +3,35 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ev/util/math.h"
+
 namespace ev::bms {
 
 ModuleManager::ModuleManager(std::size_t cell_count, double capacity_ah, double initial_soc,
                              EstimatorKind estimator,
                              std::shared_ptr<const battery::OcvCurve> curve, double r0_ohm,
                              std::unique_ptr<BalancingStrategy> strategy)
-    : strategy_(std::move(strategy)) {
+    : estimator_kind_(estimator),
+      capacity_ah_(capacity_ah),
+      r0_ohm_(r0_ohm),
+      curve_(std::move(curve)),
+      strategy_(std::move(strategy)) {
   if (cell_count == 0) throw std::invalid_argument("ModuleManager: cell_count must be > 0");
   if (!strategy_) throw std::invalid_argument("ModuleManager: strategy is null");
-  estimators_.reserve(cell_count);
-  for (std::size_t i = 0; i < cell_count; ++i) {
-    switch (estimator) {
-      case EstimatorKind::kCoulombCounting:
-        estimators_.push_back(
-            std::make_unique<CoulombCountingEstimator>(capacity_ah, initial_soc));
-        break;
-      case EstimatorKind::kVoltageCorrected:
-        if (!curve)
-          throw std::invalid_argument("ModuleManager: voltage-corrected needs an OCV curve");
-        estimators_.push_back(std::make_unique<VoltageCorrectedEstimator>(
-            capacity_ah, initial_soc, curve, r0_ohm));
-        break;
-    }
-    voltage_sensors_.emplace_back();
-    temperature_sensors_.emplace_back();
-  }
-  estimates_.assign(cell_count, initial_soc);
+  if (capacity_ah <= 0.0)
+    throw std::invalid_argument("ModuleManager: capacity must be positive");
+  if (estimator == EstimatorKind::kVoltageCorrected && !curve_)
+    throw std::invalid_argument("ModuleManager: voltage-corrected needs an OCV curve");
+  voltage_sensors_.resize(cell_count);
+  temperature_sensors_.resize(cell_count);
+  estimates_.assign(cell_count, util::clamp(initial_soc, 0.0, 1.0));
   voltages_.assign(cell_count, 0.0);
   temperatures_.assign(cell_count, 25.0);
 }
 
 void ModuleManager::step(battery::SeriesModule& module, double sensed_string_current_a,
                          double dt_s, util::Rng& rng, double pack_target_soc) {
-  const std::size_t n = std::min(estimators_.size(), module.cell_count());
+  const std::size_t n = std::min(estimates_.size(), module.cell_count());
   for (std::size_t i = 0; i < n; ++i) {
     const double v_true = module.cell(i).terminal_voltage(sensed_string_current_a);
     const double t_true = module.cell(i).temperature_c();
@@ -47,8 +42,23 @@ void ModuleManager::step(battery::SeriesModule& module, double sensed_string_cur
     double cell_current = sensed_string_current_a;
     if (module.bleed_engaged(i))
       cell_current += voltages_[i] / module.hardware().bleed_resistor_ohm;
-    estimators_[i]->update(cell_current, voltages_[i], dt_s);
-    estimates_[i] = estimators_[i]->soc();
+    // Estimator update laws inlined from soc_estimator.h (same operation
+    // order, so the estimates stay bit-identical to the per-object path).
+    switch (estimator_kind_) {
+      case EstimatorKind::kCoulombCounting:
+        estimates_[i] = util::clamp(
+            estimates_[i] - cell_current * dt_s / (capacity_ah_ * 3600.0), 0.0, 1.0);
+        break;
+      case EstimatorKind::kVoltageCorrected: {
+        double soc = estimates_[i];
+        soc -= cell_current * dt_s / (capacity_ah_ * 3600.0);
+        const double ocv_measured = voltages_[i] + cell_current * r0_ohm_;
+        const double residual_v = ocv_measured - curve_->voltage(soc);
+        soc += observer_gain_ * residual_v * dt_s;
+        estimates_[i] = util::clamp(soc, 0.0, 1.0);
+        break;
+      }
+    }
   }
   const double local_min = *std::min_element(estimates_.begin(), estimates_.end());
   strategy_->decide(estimates_, module, std::min(pack_target_soc, local_min));

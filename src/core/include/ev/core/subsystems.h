@@ -41,6 +41,10 @@ inline constexpr std::uint32_t kFrameIdSecureTelemetry = 0x160;
 /// Observes kernel, buses, and middleware into one registry/span sink.
 class ObservabilitySubsystem final : public Subsystem {
  public:
+  /// Detaches the kernel observer: sibling subsystems destroyed later may
+  /// still cancel events (RAII handles), which notifies the observer.
+  ~ObservabilitySubsystem() override;
+
   [[nodiscard]] std::string_view name() const noexcept override { return "obs"; }
   void attach(VehicleSystem& vehicle) override;
   void after_run(VehicleSystem& vehicle, SubsystemSnapshot& out) override;
@@ -56,6 +60,7 @@ class ObservabilitySubsystem final : public Subsystem {
   obs::MetricsRegistry metrics_;
   obs::TraceLog trace_;
   std::unique_ptr<obs::SimObserver> observer_;
+  sim::Simulator* sim_ = nullptr;  // where observer_ is registered
 };
 
 /// Seeded fault injection + network health watching + graceful degradation.

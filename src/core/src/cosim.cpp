@@ -121,16 +121,18 @@ CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
   // Powertrain stepping.
   const double t_end = cycle.duration_s();
   double local_t = 0.0;
-  const sim::EventId step_ev = sim_.schedule_periodic(
-      sim::Time{}, sim::Time::seconds(config_.control_period_s), [this, &cycle, &local_t] {
-        (void)powertrain_->step(cycle.speed_at(local_t));
-        local_t += config_.control_period_s;
-      });
+  sim::ScheduledHandle step_ev{
+      sim_, sim_.schedule_periodic(sim::Time{}, sim::Time::seconds(config_.control_period_s),
+                                   [this, &cycle, &local_t] {
+                                     (void)powertrain_->step(cycle.speed_at(local_t));
+                                     local_t += config_.control_period_s;
+                                   })};
 
   // BMS publication onto the chassis FlexRay (payload: soc, usable Wh).
   std::size_t published = 0;
-  const sim::EventId publish_ev = sim_.schedule_periodic(
-      sim::Time::seconds(config_.bms_publish_period_s),
+  sim::ScheduledHandle publish_ev{
+      sim_, sim_.schedule_periodic(
+                sim::Time::seconds(config_.bms_publish_period_s),
                          sim::Time::seconds(config_.bms_publish_period_s),
                          [this, &published] {
                            network::Frame f;
@@ -144,13 +146,15 @@ CoSimResult VehicleSystem::run(const powertrain::DriveCycle& cycle) {
                                        sizeof(double));
                            f.payload_size = f.payload.size();
                            if (network_->chassis_flexray().send(std::move(f))) ++published;
-                         });
+                         })};
 
   sim_.run_until(sim::Time::seconds(t_end));
   // Cancel this run's periodic events: their lambdas capture locals of this
-  // frame and must never fire after return.
-  (void)sim_.cancel(step_ev);
-  (void)sim_.cancel(publish_ev);
+  // frame and must never fire after return. The RAII handles would do this
+  // at scope exit anyway; cancelling here keeps the kernel clean before the
+  // result harvest below.
+  (void)step_ev.cancel();
+  (void)publish_ev.cancel();
 
   // Harvest the powertrain ledger (the powertrain stepped inside events, so
   // its internal ledger covers exactly this cycle).

@@ -42,7 +42,12 @@ std::size_t parse_cell_index(const std::string& target) {
 
 // ----------------------------------------------------------- observability --
 
+ObservabilitySubsystem::~ObservabilitySubsystem() {
+  if (sim_ && sim_->observer() == observer_.get()) sim_->set_observer(nullptr);
+}
+
 void ObservabilitySubsystem::attach(VehicleSystem& vehicle) {
+  sim_ = &vehicle.simulator();
   observer_ = std::make_unique<obs::SimObserver>(metrics_);
   vehicle.simulator().set_observer(observer_.get());
   for (network::Bus* bus : vehicle.network().buses()) bus->attach_observer(metrics_);

@@ -47,7 +47,9 @@ class FaultPlan {
   /// Attaches observability: counter `faults.injected`.
   void attach_observer(obs::MetricsRegistry& registry);
 
-  /// Schedules all planned injections on \p sim. Call once.
+  /// Schedules all planned injections on \p sim. Call once. The plan owns
+  /// the scheduled events: destroying it cancels injections that have not
+  /// fired yet, so an armed plan may be torn down before the run completes.
   void arm(sim::Simulator& sim);
 
   /// Entries planned (fired or not).
@@ -66,6 +68,7 @@ class FaultPlan {
 
   util::Rng rng_;
   std::vector<Planned> planned_;
+  std::vector<sim::ScheduledHandle> scheduled_;  // RAII owners of armed events
   std::vector<Injection> fired_;
   DegradationManager* degradation_ = nullptr;
   bool armed_ = false;

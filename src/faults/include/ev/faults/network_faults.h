@@ -27,10 +27,11 @@ class BabblingIdiot {
 
   /// Starts babbling at the next period boundary.
   void start();
-  /// Silences the node (fault removed / bus guardian kicked in).
+  /// Silences the node (fault removed / bus guardian kicked in). Destroying
+  /// the actor silences it too — the periodic event is owned RAII-style.
   void stop();
   /// True while babbling.
-  [[nodiscard]] bool active() const noexcept { return event_ != sim::kNoEvent; }
+  [[nodiscard]] bool active() const noexcept { return event_.active(); }
   /// Frames the idiot has pushed into the bus (accepted sends).
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return sent_; }
 
@@ -40,7 +41,7 @@ class BabblingIdiot {
   std::uint32_t id_;
   std::int64_t period_us_;
   std::size_t payload_bytes_;
-  sim::EventId event_ = sim::kNoEvent;
+  sim::ScheduledHandle event_;  // owns the babble periodic
   std::uint64_t sent_ = 0;
 };
 
@@ -87,6 +88,7 @@ class NetworkHealthWatcher {
   sim::Simulator* sim_;
   DegradationManager* degradation_;
   NetworkWatchConfig config_;
+  sim::ScheduledHandle poll_event_;  // owns the periodic poll
   std::vector<Watched> watched_;
   bool started_ = false;
   std::uint64_t reported_ = 0;

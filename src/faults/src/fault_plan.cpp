@@ -19,16 +19,21 @@ void FaultPlan::attach_observer(obs::MetricsRegistry& registry) {
 void FaultPlan::arm(sim::Simulator& sim) {
   if (armed_) throw std::logic_error("FaultPlan: already armed");
   armed_ = true;
+  scheduled_.reserve(planned_.size());
   for (Planned& p : planned_) {
     // The Planned entry outlives the run (the plan owns it), so the handler
-    // captures a pointer instead of copying the action.
+    // captures a pointer instead of copying the action. The plan also owns
+    // the scheduled events (RAII): destroying an armed plan cancels every
+    // injection that has not fired yet, so the handlers' `this` captures can
+    // never dangle. Cancelling an already-fired one-shot is a no-op.
     Planned* entry = &p;
-    sim.schedule_at(p.at, [this, entry, &sim] {
-      if (degradation_) degradation_->mark_fault_injected();
-      fired_.push_back(Injection{entry->label, sim.now()});
-      if (metrics_) metrics_->add(injected_metric_);
-      entry->action();
-    });
+    scheduled_.emplace_back(
+        sim, sim.schedule_at(p.at, [this, entry, &sim] {
+          if (degradation_) degradation_->mark_fault_injected();
+          fired_.push_back(Injection{entry->label, sim.now()});
+          if (metrics_) metrics_->add(injected_metric_);
+          entry->action();
+        }));
   }
 }
 

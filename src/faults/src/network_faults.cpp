@@ -12,22 +12,18 @@ BabblingIdiot::BabblingIdiot(sim::Simulator& sim, network::Bus& bus, std::uint32
 }
 
 void BabblingIdiot::start() {
-  if (event_ != sim::kNoEvent) return;
-  event_ = sim_->schedule_periodic(sim::After{sim::Time::us(period_us_)},
-                                   sim::Time::us(period_us_),
-                                   [this] {
-                                     network::Frame frame;
-                                     frame.id = id_;
-                                     frame.payload_size = payload_bytes_;
-                                     if (bus_->send(frame)) ++sent_;
-                                   });
+  if (event_.active()) return;
+  event_ = sim::ScheduledHandle{
+      *sim_, sim_->schedule_periodic(sim::After{sim::Time::us(period_us_)},
+                                     sim::Time::us(period_us_), [this] {
+                                       network::Frame frame;
+                                       frame.id = id_;
+                                       frame.payload_size = payload_bytes_;
+                                       if (bus_->send(frame)) ++sent_;
+                                     })};
 }
 
-void BabblingIdiot::stop() {
-  if (event_ == sim::kNoEvent) return;
-  sim_->cancel(event_);
-  event_ = sim::kNoEvent;
-}
+void BabblingIdiot::stop() { event_.cancel(); }
 
 NetworkHealthWatcher::NetworkHealthWatcher(sim::Simulator& sim,
                                            DegradationManager& degradation,
@@ -46,8 +42,10 @@ void NetworkHealthWatcher::watch(network::Bus& bus) {
 void NetworkHealthWatcher::start() {
   if (started_) throw std::logic_error("NetworkHealthWatcher: already started");
   started_ = true;
-  sim_->schedule_periodic(sim::After{sim::Time::us(config_.poll_period_us)},
-                          sim::Time::us(config_.poll_period_us), [this] { poll(); });
+  poll_event_ = sim::ScheduledHandle{
+      *sim_, sim_->schedule_periodic(sim::After{sim::Time::us(config_.poll_period_us)},
+                                     sim::Time::us(config_.poll_period_us),
+                                     [this] { poll(); })};
 }
 
 void NetworkHealthWatcher::attach_observer(obs::MetricsRegistry& registry) {

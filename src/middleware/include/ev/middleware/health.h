@@ -54,7 +54,10 @@ class HealthMonitor {
   /// Deploys one heartbeat runnable into every existing partition and arms
   /// the periodic watchdog. Call after the partitions are created and
   /// before (or after) Middleware::start(); monitoring begins at the next
-  /// check period. Must be called at most once.
+  /// check period. Must be called at most once. The watchdog event is owned
+  /// by the monitor (RAII) and is cancelled when the monitor is destroyed,
+  /// so a HealthMonitor may safely outlive neither the simulator nor be
+  /// destroyed mid-scenario without leaving a dangling periodic behind.
   void start();
 
   /// Registers \p listener for watchdog events.
@@ -89,6 +92,7 @@ class HealthMonitor {
   sim::Simulator* sim_;
   Middleware* mw_;
   HealthConfig config_;
+  sim::ScheduledHandle watchdog_;  // owns the periodic check event
   std::vector<Watched> watched_;
   Listener listener_;
   bool started_ = false;

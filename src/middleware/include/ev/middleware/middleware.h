@@ -42,7 +42,9 @@ class Middleware {
   /// Deploys \p runnable into partition \p index (allowed at runtime).
   void deploy(std::size_t index, Runnable runnable);
 
-  /// Starts dispatching major frames on the simulator.
+  /// Starts dispatching major frames on the simulator. The dispatcher
+  /// periodic is owned by the Middleware (RAII) and cancelled on
+  /// destruction, so a Middleware may be torn down mid-run safely.
   void start();
 
   /// The pub/sub plane.
@@ -92,6 +94,7 @@ class Middleware {
   sim::Simulator* sim_;
   std::string name_;
   std::int64_t major_frame_us_;
+  sim::ScheduledHandle frame_event_;  // owns the major-frame dispatch periodic
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<FrameWindow> windows_;
   PubSubBroker broker_;

@@ -5,6 +5,13 @@
 /// of *where* a subscriber runs — the location transparency that lets
 /// software tasks "be distributed in a more flexible way".
 ///
+/// Hot-path storage: published payloads are appended to a flat byte arena
+/// and described by small fixed-size records; flush() swaps the arena with a
+/// reusable scratch buffer (a two-deep ring) and hands subscribers views
+/// (std::span) into it. After the buffers warm up to the scenario's peak
+/// backlog, a publish/flush cycle performs no heap allocation and payload
+/// bytes are copied exactly once (publisher -> arena).
+///
 /// Applications use the typed Topic<T> wrapper; the raw byte-oriented broker
 /// API remains for gateways and generic tooling that forward opaque samples.
 #pragma once
@@ -13,6 +20,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -26,14 +34,31 @@ namespace ev::middleware {
 /// Topic identifier.
 using TopicId = std::uint32_t;
 
-/// A published sample: raw bytes plus the publication timestamp [us].
+/// An owning published sample: raw bytes plus the publication timestamp
+/// [us]. Kept for tooling that stores samples beyond the delivery callback;
+/// the delivery path itself hands out SampleView.
 struct Sample {
   std::vector<std::uint8_t> data;
   std::int64_t published_us = 0;
 };
 
-/// Subscriber callback.
-using SampleHandler = std::function<void(const Sample&)>;
+/// A delivered sample: a borrowed view of the payload bytes plus the
+/// publication timestamp [us]. The view is valid only for the duration of
+/// the subscriber callback (it points into the broker's flush buffer);
+/// subscribers that need the bytes later must copy them (see Sample or
+/// SubscriberQueue).
+struct SampleView {
+  std::span<const std::uint8_t> data;
+  std::int64_t published_us = 0;
+
+  /// Deep copy into an owning Sample.
+  [[nodiscard]] Sample to_sample() const {
+    return Sample{std::vector<std::uint8_t>(data.begin(), data.end()), published_us};
+  }
+};
+
+/// Subscriber callback. The view argument is valid only during the call.
+using SampleHandler = std::function<void(const SampleView&)>;
 
 /// Broker with deferred (deterministic) delivery.
 class PubSubBroker {
@@ -41,8 +66,17 @@ class PubSubBroker {
   /// Registers \p handler for \p topic. Subscriptions are persistent.
   void subscribe(TopicId topic, SampleHandler handler);
 
-  /// Buffers \p data on \p topic at time \p now_us; delivered on flush().
-  void publish(TopicId topic, std::vector<std::uint8_t> data, std::int64_t now_us);
+  /// Buffers a copy of \p data on \p topic at time \p now_us; delivered on
+  /// flush(). This is the zero-copy entry point: the bytes go straight into
+  /// the broker's arena with no intermediate container.
+  void publish(TopicId topic, std::span<const std::uint8_t> data, std::int64_t now_us);
+
+  /// Owning-container overload, superseded by the span entry point above
+  /// (the vector is an intermediate copy the arena makes redundant).
+  [[deprecated("pass a std::span<const std::uint8_t>; the broker copies into its own storage")]]
+  void publish(TopicId topic, std::vector<std::uint8_t> data, std::int64_t now_us) {
+    publish(topic, std::span<const std::uint8_t>(data.data(), data.size()), now_us);
+  }
 
   /// Delivers all buffered samples in publication order. Called by the
   /// dispatcher at deterministic schedule points. The \p now_us overload
@@ -65,19 +99,79 @@ class PubSubBroker {
   void attach_observer(obs::MetricsRegistry& registry, std::string_view prefix);
 
  private:
+  /// Descriptor of one buffered publication; the payload bytes live in the
+  /// arena at [offset, offset + length).
   struct Pending {
     TopicId topic;
-    Sample sample;
+    std::uint32_t offset;
+    std::uint32_t length;
+    std::int64_t published_us;
   };
   void flush_impl(bool timed, std::int64_t now_us);
 
   std::map<TopicId, std::vector<SampleHandler>> subscribers_;
   std::vector<Pending> pending_;
+  std::vector<std::uint8_t> arena_;  ///< payload bytes of pending_ records
+  // Scratch twins swapped in at each flush so deliveries triggering further
+  // publications never invalidate the views being handed out. Capacity is
+  // retained across flushes — a ring of depth two.
+  std::vector<Pending> flushing_;
+  std::vector<std::uint8_t> flushing_arena_;
   std::uint64_t delivered_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricId delivered_metric_ = obs::kInvalidId;
   obs::MetricId latency_us_metric_ = obs::kInvalidId;
   obs::MetricId backlog_peak_metric_ = obs::kInvalidId;
+};
+
+/// Pull-model subscriber endpoint: copies each delivered sample of one topic
+/// into a flat byte ring at delivery time, and drains the backlog later as
+/// views — one payload copy at enqueue, zero at drain. Useful for partition
+/// tasks that want to consume a window's worth of samples in their own time
+/// slot instead of reacting inside the flush.
+class SubscriberQueue {
+ public:
+  /// Subscribes the queue to \p topic on \p broker (which must outlive it;
+  /// broker subscriptions are persistent, so the queue must not move).
+  SubscriberQueue(PubSubBroker& broker, TopicId topic);
+  SubscriberQueue(const SubscriberQueue&) = delete;
+  SubscriberQueue& operator=(const SubscriberQueue&) = delete;
+
+  /// Queued (undrained) sample count.
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  /// Samples enqueued since construction.
+  [[nodiscard]] std::uint64_t total_enqueued() const noexcept { return total_enqueued_; }
+
+  /// Invokes `fn(const SampleView&)` for every queued sample in delivery
+  /// order, then clears the queue (retaining capacity). The views are valid
+  /// only during the callback.
+  template <typename F>
+  void drain(F&& fn) {
+    for (const Record& r : records_)
+      fn(SampleView{std::span<const std::uint8_t>(bytes_.data() + r.offset, r.length),
+                    r.published_us});
+    records_.clear();
+    bytes_.clear();
+  }
+
+  /// Drops the backlog without delivering it.
+  void clear() noexcept {
+    records_.clear();
+    bytes_.clear();
+  }
+
+ private:
+  struct Record {
+    std::uint32_t offset;
+    std::uint32_t length;
+    std::int64_t published_us;
+  };
+  void enqueue(const SampleView& view);
+
+  std::vector<Record> records_;
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t total_enqueued_ = 0;
 };
 
 /// Typed view of one broker topic. T must be trivially copyable (POD-style:
@@ -95,18 +189,24 @@ class Topic {
   /// Binds topic \p id on \p broker (which must outlive the Topic).
   Topic(PubSubBroker& broker, TopicId id) noexcept : broker_(&broker), id_(id) {}
 
-  /// Publishes \p value at time \p now_us; delivered at the next flush.
+  /// Publishes \p value at time \p now_us; delivered at the next flush. The
+  /// object representation is written straight into the broker arena — no
+  /// intermediate buffer.
   void publish(const T& value, std::int64_t now_us) {
-    broker_->publish(id_, encode(value), now_us);
+    broker_->publish(
+        id_,
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(&value),
+                                      sizeof(T)),
+        now_us);
   }
 
   /// Subscribes \p handler, callable as either handler(const T&) or
-  /// handler(const T&, const Sample&) when the publication metadata
+  /// handler(const T&, const SampleView&) when the publication metadata
   /// (timestamp) is needed.
   template <typename F>
   void subscribe(F handler) {
-    broker_->subscribe(id_, [h = std::move(handler)](const Sample& s) mutable {
-      if constexpr (std::is_invocable_v<F&, const T&, const Sample&>)
+    broker_->subscribe(id_, [h = std::move(handler)](const SampleView& s) mutable {
+      if constexpr (std::is_invocable_v<F&, const T&, const SampleView&>)
         h(decode(s), s);
       else
         h(decode(s));
@@ -122,12 +222,18 @@ class Topic {
 
   /// Reconstructs a value; throws std::invalid_argument on a size mismatch
   /// (subscribing the wrong type to a topic).
-  [[nodiscard]] static T decode(const Sample& sample) {
+  [[nodiscard]] static T decode(const SampleView& sample) {
     if (sample.data.size() != sizeof(T))
       throw std::invalid_argument("Topic: sample size does not match payload type");
     T value;
     std::memcpy(&value, sample.data.data(), sizeof(T));
     return value;
+  }
+  /// Owning-sample twin of the view overload.
+  [[nodiscard]] static T decode(const Sample& sample) {
+    return decode(SampleView{
+        std::span<const std::uint8_t>(sample.data.data(), sample.data.size()),
+        sample.published_us});
   }
 
   [[nodiscard]] TopicId id() const noexcept { return id_; }

@@ -27,8 +27,10 @@ void HealthMonitor::start() {
                             }});
   }
   // First check one period in: every partition gets a full period to beat.
-  sim_->schedule_periodic(sim::After{sim::Time::us(config_.check_period_us)},
-                          sim::Time::us(config_.check_period_us), [this] { check(); });
+  watchdog_ = sim::ScheduledHandle{
+      *sim_, sim_->schedule_periodic(sim::After{sim::Time::us(config_.check_period_us)},
+                                     sim::Time::us(config_.check_period_us),
+                                     [this] { check(); })};
 }
 
 void HealthMonitor::attach_observer(obs::MetricsRegistry& registry) {

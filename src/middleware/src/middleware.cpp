@@ -62,8 +62,9 @@ void Middleware::deploy(std::size_t index, Runnable runnable) {
 void Middleware::start() {
   if (started_) return;
   started_ = true;
-  sim_->schedule_periodic(sim::Time{}, sim::Time::us(major_frame_us_),
-                          [this] { run_frame(); });
+  frame_event_ = sim::ScheduledHandle{
+      *sim_, sim_->schedule_periodic(sim::Time{}, sim::Time::us(major_frame_us_),
+                                     [this] { run_frame(); })};
 }
 
 void Middleware::run_frame() {

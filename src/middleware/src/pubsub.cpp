@@ -1,5 +1,6 @@
 #include "ev/middleware/pubsub.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace ev::middleware {
@@ -9,9 +10,14 @@ void PubSubBroker::subscribe(TopicId topic, SampleHandler handler) {
   subscribers_[topic].push_back(std::move(handler));
 }
 
-void PubSubBroker::publish(TopicId topic, std::vector<std::uint8_t> data,
+void PubSubBroker::publish(TopicId topic, std::span<const std::uint8_t> data,
                            std::int64_t now_us) {
-  pending_.push_back(Pending{topic, Sample{std::move(data), now_us}});
+  if (arena_.size() + data.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::length_error("PubSubBroker: pending payload arena exceeds 4 GiB");
+  const auto offset = static_cast<std::uint32_t>(arena_.size());
+  arena_.insert(arena_.end(), data.begin(), data.end());
+  pending_.push_back(
+      Pending{topic, offset, static_cast<std::uint32_t>(data.size()), now_us});
   if (metrics_)
     metrics_->set_max(backlog_peak_metric_, static_cast<double>(pending_.size()));
 }
@@ -21,24 +27,35 @@ void PubSubBroker::flush() { flush_impl(/*timed=*/false, 0); }
 void PubSubBroker::flush(std::int64_t now_us) { flush_impl(/*timed=*/true, now_us); }
 
 void PubSubBroker::flush_impl(bool timed, std::int64_t now_us) {
-  // Deliveries may trigger further publications; those wait for the next
-  // flush point (keeps delivery timing deterministic).
-  std::vector<Pending> batch;
+  // Deliveries may trigger further publications; those accumulate in the
+  // swapped-in (empty) twin buffers and wait for the next flush point, which
+  // keeps delivery timing deterministic and the handed-out views stable. The
+  // batch lives in locals (seeded with the retained scratch capacity, handed
+  // back afterwards) so even a re-entrant flush from a handler stays safe.
+  std::vector<Pending> batch = std::move(flushing_);
+  std::vector<std::uint8_t> bytes = std::move(flushing_arena_);
   batch.swap(pending_);
+  bytes.swap(arena_);
   for (const Pending& p : batch) {
     const auto it = subscribers_.find(p.topic);
     if (it == subscribers_.end()) continue;
+    const SampleView view{std::span<const std::uint8_t>(bytes.data() + p.offset, p.length),
+                          p.published_us};
     for (const auto& handler : it->second) {
-      handler(p.sample);
+      handler(view);
       ++delivered_;
       if (metrics_) {
         metrics_->add(delivered_metric_);
         if (timed)
           metrics_->observe(latency_us_metric_,
-                            static_cast<double>(now_us - p.sample.published_us));
+                            static_cast<double>(now_us - p.published_us));
       }
     }
   }
+  batch.clear();
+  bytes.clear();
+  flushing_ = std::move(batch);
+  flushing_arena_ = std::move(bytes);
 }
 
 void PubSubBroker::attach_observer(obs::MetricsRegistry& registry,
@@ -48,6 +65,20 @@ void PubSubBroker::attach_observer(obs::MetricsRegistry& registry,
   delivered_metric_ = registry.counter(base + "delivered");
   latency_us_metric_ = registry.histogram(base + "delivery_latency_us", 0.0, 1e6, 64);
   backlog_peak_metric_ = registry.gauge(base + "backlog.peak");
+}
+
+SubscriberQueue::SubscriberQueue(PubSubBroker& broker, TopicId topic) {
+  broker.subscribe(topic, [this](const SampleView& view) { enqueue(view); });
+}
+
+void SubscriberQueue::enqueue(const SampleView& view) {
+  if (bytes_.size() + view.data.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::length_error("SubscriberQueue: byte ring exceeds 4 GiB");
+  const auto offset = static_cast<std::uint32_t>(bytes_.size());
+  bytes_.insert(bytes_.end(), view.data.begin(), view.data.end());
+  records_.push_back(Record{offset, static_cast<std::uint32_t>(view.data.size()),
+                            view.published_us});
+  ++total_enqueued_;
 }
 
 }  // namespace ev::middleware

@@ -1,0 +1,159 @@
+/// \file callable.h
+/// EventFn: the kernel's type-erased `void()` callable with a fixed inline
+/// buffer. Event handlers overwhelmingly capture a `this` pointer and a few
+/// scalars; storing them inside the Scheduled slot itself (instead of behind
+/// a `std::function` heap allocation) is what makes scheduling an event
+/// allocation-free. Targets larger than the buffer fall back to the heap;
+/// heap_constructions() exposes a process-wide count so stress tests can
+/// prove the hot path stays allocation-free after warm-up.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ev::sim {
+
+/// Move- and copy-constructible owning wrapper for any `void()` callable.
+/// Targets up to kInlineBytes (with fundamental alignment) are stored
+/// inline; larger ones are heap-allocated. Copyability is required because
+/// periodic events hand a copy of their handler to each firing (the slab may
+/// grow, or the handler may cancel its own slot, while the copy runs).
+class EventFn {
+ public:
+  /// Inline capacity. 64 bytes covers a captured `this` plus a moved-in
+  /// network Frame — the largest handler the stack schedules on a hot path.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) : ops_(&ops_for<std::decay_t<F>>) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      heap_count().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ == nullptr) return;
+    if (ops_->inline_stored) {
+      ops_->relocate(buf_, other.buf_);
+    } else {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    }
+    other.ops_ = nullptr;
+  }
+
+  EventFn(const EventFn& other) : ops_(other.ops_) {
+    if (ops_ == nullptr) return;
+    if (ops_->inline_stored) {
+      ops_->copy(buf_, other.buf_);
+    } else {
+      heap_ = ops_->copy_heap(other.heap_);
+      heap_count().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ::new (static_cast<void*>(this)) EventFn(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn& operator=(const EventFn& other) {
+    if (this != &other) {
+      EventFn copy(other);
+      reset();
+      ::new (static_cast<void*>(this)) EventFn(std::move(copy));
+    }
+    return *this;
+  }
+
+  ~EventFn() { reset(); }
+
+  /// True when a target is held.
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the target (which must be held).
+  void operator()() { ops_->invoke(target()); }
+
+  /// Drops the target (no-op when empty).
+  void reset() noexcept {
+    if (ops_ == nullptr) return;
+    ops_->destroy(target());
+    if (!ops_->inline_stored) ::operator delete(heap_);
+    ops_ = nullptr;
+  }
+
+  /// Targets constructed on the heap (too large for the inline buffer) since
+  /// process start. A flat curve over an event storm proves zero per-event
+  /// allocation in the kernel.
+  [[nodiscard]] static std::uint64_t heap_constructions() noexcept {
+    return heap_count().load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* t);
+    void (*relocate)(void* dst_buf, void* src_buf) noexcept;  // move + destroy src
+    void (*copy)(void* dst_buf, const void* src_buf);
+    void* (*copy_heap)(const void* src_target);
+    void (*destroy)(void* t) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops make_ops() noexcept {
+    return Ops{
+        [](void* t) { (*static_cast<Fn*>(t))(); },
+        [](void* dst, void* src) noexcept {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* dst, const void* src) { ::new (dst) Fn(*static_cast<const Fn*>(src)); },
+        [](const void* src) -> void* { return new Fn(*static_cast<const Fn*>(src)); },
+        [](void* t) noexcept { static_cast<Fn*>(t)->~Fn(); },
+        fits_inline<Fn>()};
+  }
+
+  template <typename Fn>
+  static inline const Ops ops_for = make_ops<Fn>();
+
+  static std::atomic<std::uint64_t>& heap_count() noexcept {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
+  [[nodiscard]] void* target() noexcept {
+    return ops_->inline_stored ? static_cast<void*>(buf_) : heap_;
+  }
+  [[nodiscard]] const void* target() const noexcept {
+    return ops_->inline_stored ? static_cast<const void*>(buf_) : heap_;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ev::sim

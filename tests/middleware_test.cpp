@@ -16,6 +16,10 @@ using namespace ev::middleware;
 using ev::sim::Simulator;
 using ev::sim::Time;
 
+// Empty payload for raw-broker tests (explicit span: a bare `{}` would be
+// ambiguous between the span and deprecated vector publish overloads).
+constexpr std::span<const std::uint8_t> kNoBytes{};
+
 Runnable ok_runnable(const std::string& name, std::int64_t period_us,
                      std::int64_t wcet_us, int* counter = nullptr) {
   return Runnable{name, period_us, wcet_us, [counter] {
@@ -97,7 +101,7 @@ TEST(Partition, CpuTimeAccounted) {
 TEST(PubSub, DeliversOnFlushOnly) {
   PubSubBroker broker;
   int received = 0;
-  broker.subscribe(7, [&](const Sample&) { ++received; });
+  broker.subscribe(7, [&](const SampleView&) { ++received; });
   Topic<double>(broker, 7).publish(1.0, 0);
   EXPECT_EQ(received, 0);
   EXPECT_EQ(broker.backlog(), 1u);
@@ -109,9 +113,9 @@ TEST(PubSub, DeliversOnFlushOnly) {
 TEST(PubSub, MultipleSubscribersFanOut) {
   PubSubBroker broker;
   int a = 0, b = 0;
-  broker.subscribe(1, [&](const Sample&) { ++a; });
-  broker.subscribe(1, [&](const Sample&) { ++b; });
-  broker.publish(1, {}, 0);
+  broker.subscribe(1, [&](const SampleView&) { ++a; });
+  broker.subscribe(1, [&](const SampleView&) { ++b; });
+  broker.publish(1, kNoBytes, 0);
   broker.flush();
   EXPECT_EQ(a, 1);
   EXPECT_EQ(b, 1);
@@ -121,9 +125,9 @@ TEST(PubSub, MultipleSubscribersFanOut) {
 TEST(PubSub, PublicationsDuringFlushDeferred) {
   PubSubBroker broker;
   int second = 0;
-  broker.subscribe(1, [&](const Sample&) { broker.publish(2, {}, 1); });
-  broker.subscribe(2, [&](const Sample&) { ++second; });
-  broker.publish(1, {}, 0);
+  broker.subscribe(1, [&](const SampleView&) { broker.publish(2, kNoBytes, 1); });
+  broker.subscribe(2, [&](const SampleView&) { ++second; });
+  broker.publish(1, kNoBytes, 0);
   broker.flush();
   EXPECT_EQ(second, 0);  // chained publication waits for the next flush
   broker.flush();
@@ -146,7 +150,7 @@ TEST(PubSub, TypedTopicCarriesPodStructs) {
   Topic<WheelSpeeds> topic(broker, 11);
   WheelSpeeds seen{};
   std::int64_t seen_at = -1;
-  topic.subscribe([&](const WheelSpeeds& w, const Sample& s) {
+  topic.subscribe([&](const WheelSpeeds& w, const SampleView& s) {
     seen = w;
     seen_at = s.published_us;
   });
@@ -160,10 +164,107 @@ TEST(PubSub, TypedTopicCarriesPodStructs) {
 TEST(PubSub, TopicsAreIndependent) {
   PubSubBroker broker;
   int received = 0;
-  broker.subscribe(1, [&](const Sample&) { ++received; });
-  broker.publish(2, {}, 0);  // different topic
+  broker.subscribe(1, [&](const SampleView&) { ++received; });
+  broker.publish(2, kNoBytes, 0);  // different topic
   broker.flush();
   EXPECT_EQ(received, 0);
+}
+
+TEST(PubSub, SpanPublishDeliversExactBytes) {
+  PubSubBroker broker;
+  const std::uint8_t payload[] = {0xde, 0xad, 0xbe, 0xef};
+  std::vector<std::uint8_t> seen;
+  std::int64_t seen_at = -1;
+  broker.subscribe(4, [&](const SampleView& s) {
+    seen.assign(s.data.begin(), s.data.end());
+    seen_at = s.published_us;
+  });
+  broker.publish(4, std::span<const std::uint8_t>(payload, sizeof payload), 77);
+  broker.flush();
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(seen_at, 77);
+}
+
+TEST(PubSub, InterleavedPayloadsStayIntact) {
+  // Multiple pending payloads of different sizes share the arena; each view
+  // must cover exactly its own bytes.
+  PubSubBroker broker;
+  std::vector<std::vector<std::uint8_t>> seen;
+  broker.subscribe(1, [&](const SampleView& s) {
+    seen.emplace_back(s.data.begin(), s.data.end());
+  });
+  const std::uint8_t a[] = {1};
+  const std::uint8_t b[] = {2, 3, 4};
+  const std::uint8_t c[] = {5, 6};
+  broker.publish(1, std::span<const std::uint8_t>(a, 1), 0);
+  broker.publish(1, std::span<const std::uint8_t>(b, 3), 0);
+  broker.publish(1, std::span<const std::uint8_t>(c, 2), 0);
+  broker.flush();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(seen[1], (std::vector<std::uint8_t>{2, 3, 4}));
+  EXPECT_EQ(seen[2], (std::vector<std::uint8_t>{5, 6}));
+}
+
+TEST(PubSub, DeprecatedVectorOverloadStillForwards) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  PubSubBroker broker;
+  std::size_t seen_size = 0;
+  broker.subscribe(9, [&](const SampleView& s) { seen_size = s.data.size(); });
+  broker.publish(9, std::vector<std::uint8_t>{7, 8, 9}, 0);
+  broker.flush();
+  EXPECT_EQ(seen_size, 3u);
+#pragma GCC diagnostic pop
+}
+
+TEST(PubSub, ViewToSampleDeepCopies) {
+  PubSubBroker broker;
+  Sample kept;
+  broker.subscribe(2, [&](const SampleView& s) { kept = s.to_sample(); });
+  const std::uint8_t payload[] = {42, 43};
+  broker.publish(2, std::span<const std::uint8_t>(payload, 2), 5);
+  broker.flush();
+  // The copy outlives the flush that produced the view.
+  EXPECT_EQ(kept.data, (std::vector<std::uint8_t>{42, 43}));
+  EXPECT_EQ(kept.published_us, 5);
+}
+
+// ------------------------------------------------------ subscriber queue ----
+
+TEST(SubscriberQueue, BuffersAcrossFlushAndDrainsViews) {
+  PubSubBroker broker;
+  Topic<double> topic(broker, 6);
+  SubscriberQueue queue(broker, 6);
+  topic.publish(1.5, 10);
+  topic.publish(2.5, 20);
+  broker.flush();
+  EXPECT_EQ(queue.size(), 2u);
+  std::vector<double> values;
+  std::vector<std::int64_t> stamps;
+  queue.drain([&](const SampleView& s) {
+    values.push_back(Topic<double>::decode(s));
+    stamps.push_back(s.published_us);
+  });
+  EXPECT_EQ(values, (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(stamps, (std::vector<std::int64_t>{10, 20}));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.total_enqueued(), 2u);
+}
+
+TEST(SubscriberQueue, ClearDropsBacklog) {
+  PubSubBroker broker;
+  Topic<int> topic(broker, 3);
+  SubscriberQueue queue(broker, 3);
+  topic.publish(1, 0);
+  broker.flush();
+  EXPECT_EQ(queue.size(), 1u);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  int drained = 0;
+  queue.drain([&](const SampleView&) { ++drained; });
+  EXPECT_EQ(drained, 0);
+  EXPECT_EQ(queue.total_enqueued(), 1u);
 }
 
 // ------------------------------------------------------------- services ----

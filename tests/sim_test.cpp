@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "ev/sim/simulator.h"
@@ -235,6 +238,141 @@ TEST(Simulator, PeriodicHandlerCancelSelfInsideHandler) {
   sim.schedule_at(Time::ms(3) + Time::us(1), [&] { sim.cancel(id); });
   sim.run_until(Time::ms(100));
   EXPECT_EQ(count, 3);
+}
+
+// --- arena event queue -------------------------------------------------------
+
+TEST(ArenaQueue, CancelDuringFireSuppressesSameTimestampVictims) {
+  Simulator sim;
+  std::vector<int> fired;
+  ev::sim::EventId victim1 = ev::sim::kNoEvent;
+  ev::sim::EventId victim2 = ev::sim::kNoEvent;
+  sim.schedule_at(Time::ms(1), [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(sim.cancel(victim1));
+    EXPECT_TRUE(sim.cancel(victim2));
+  });
+  victim1 = sim.schedule_at(Time::ms(1), [&] { fired.push_back(1); });
+  sim.schedule_at(Time::ms(1), [&] { fired.push_back(2); });
+  victim2 = sim.schedule_at(Time::ms(1), [&] { fired.push_back(3); });
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+}
+
+TEST(ArenaQueue, StaleIdAfterSlotReuseDoesNotCancelNewTenant) {
+  Simulator sim;
+  int fired = 0;
+  const ev::sim::EventId id1 = sim.schedule_at(Time::ms(1), [&] { ++fired; });
+  ASSERT_TRUE(sim.cancel(id1));  // releases the slot to the free list
+  const ev::sim::EventId id2 = sim.schedule_at(Time::ms(1), [&] { fired += 10; });
+  EXPECT_NE(id1, id2);
+  EXPECT_FALSE(sim.cancel(id1));  // stale generation must miss the new tenant
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(ArenaQueue, RescheduleStormRecyclesSlots) {
+  Simulator sim;
+  // 64 chains, each handler releasing its slot and re-acquiring a fresh one
+  // per hop. The arena must recycle indices without unbounded growth and the
+  // handlers (this + scalars) must stay inside EventFn's inline buffer.
+  struct Chain {
+    Simulator* sim;
+    int hops_left;
+    std::uint64_t* fired;
+    void arm() {
+      if (hops_left-- == 0) return;
+      sim->schedule_in(Time::us(7), [this] {
+        ++*fired;
+        arm();
+      });
+    }
+  };
+  std::uint64_t fired = 0;
+  std::vector<std::unique_ptr<Chain>> chains;
+  const std::uint64_t before = ev::sim::EventFn::heap_constructions();
+  for (int i = 0; i < 64; ++i) {
+    chains.push_back(std::make_unique<Chain>(Chain{&sim, 1000, &fired}));
+    chains.back()->arm();
+  }
+  sim.run();
+  EXPECT_EQ(fired, 64u * 1000u);
+  EXPECT_EQ(ev::sim::EventFn::heap_constructions(), before);
+}
+
+TEST(ArenaQueue, MillionEventChurnStaysAllocationFree) {
+  Simulator sim;
+  constexpr int kBatch = 512;
+  constexpr int kRounds = 2000;  // 512 * 2000 > 1M one-shot events
+  std::uint64_t fired = 0;
+  // Warm-up: push the slab, free list, and heap to their peak footprint.
+  for (int i = 0; i < kBatch; ++i)
+    sim.schedule_in(Time::us(1 + i), [&fired] { ++fired; });
+  sim.run();
+  const std::uint64_t baseline = ev::sim::EventFn::heap_constructions();
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kBatch; ++i)
+      sim.schedule_in(Time::us(1 + i), [&fired] { ++fired; });
+    sim.run();
+  }
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kBatch) * (kRounds + 1));
+  // Steady-state churn must not construct a single handler on the heap.
+  EXPECT_EQ(ev::sim::EventFn::heap_constructions(), baseline);
+}
+
+// --- RAII event ownership ----------------------------------------------------
+
+TEST(ScheduledHandle, CancelsOnDestruction) {
+  Simulator sim;
+  int fired = 0;
+  {
+    ev::sim::ScheduledHandle handle{sim,
+                                    sim.schedule_at(Time::ms(1), [&] { ++fired; })};
+    EXPECT_TRUE(handle.active());
+  }
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ScheduledHandle, ReleaseDetachesWithoutCancelling) {
+  Simulator sim;
+  int fired = 0;
+  ev::sim::EventId raw = ev::sim::kNoEvent;
+  {
+    ev::sim::ScheduledHandle handle{sim,
+                                    sim.schedule_at(Time::ms(1), [&] { ++fired; })};
+    raw = handle.release();
+    EXPECT_FALSE(handle.active());
+  }
+  EXPECT_NE(raw, ev::sim::kNoEvent);
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ScheduledHandle, MoveTransfersOwnership) {
+  Simulator sim;
+  int fired = 0;
+  ev::sim::ScheduledHandle a{sim, sim.schedule_at(Time::ms(1), [&] { ++fired; })};
+  ev::sim::ScheduledHandle b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b.active());
+  EXPECT_TRUE(b.cancel());
+  EXPECT_FALSE(b.cancel());  // idempotent
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ScheduledHandle, AssignCancelsPreviousEvent) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  ev::sim::ScheduledHandle handle{sim,
+                                  sim.schedule_at(Time::ms(1), [&] { ++first; })};
+  handle = ev::sim::ScheduledHandle{sim,
+                                    sim.schedule_at(Time::ms(1), [&] { ++second; })};
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
 }
 
 TEST(Trace, RecordsAndStats) {
