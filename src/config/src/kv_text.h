@@ -1,0 +1,70 @@
+/// \file kv_text.h
+/// Internal helpers shared by the `key = value` spec parsers (ScenarioSpec,
+/// FleetSpec): scalar parsing with uniform error messages, whitespace
+/// handling, and line splitting. Every parser passes its own context prefix
+/// ("scenario", "fleet") so diagnostics name the format being read.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ev::config::detail {
+
+[[noreturn]] inline void fail(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+inline double parse_double(const std::string& s, const std::string& key,
+                           const char* ctx) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    fail(std::string(ctx) + ": '" + key + "' expects a number, got '" + s + "'");
+  return v;
+}
+
+inline std::uint64_t parse_u64(const std::string& s, const std::string& key,
+                               const char* ctx) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s.front() == '-')
+    fail(std::string(ctx) + ": '" + key + "' expects a non-negative integer, got '" +
+         s + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+inline std::int64_t parse_i64(const std::string& s, const std::string& key,
+                              const char* ctx) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0')
+    fail(std::string(ctx) + ": '" + key + "' expects an integer, got '" + s + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+inline bool parse_bool(const std::string& s, const std::string& key, const char* ctx) {
+  if (s == "true") return true;
+  if (s == "false") return false;
+  fail(std::string(ctx) + ": '" + key + "' expects true or false, got '" + s + "'");
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+inline std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace ev::config::detail

@@ -1,6 +1,5 @@
 #include "ev/config/scenario.h"
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -8,10 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "kv_text.h"
+
 namespace ev::config {
 namespace {
 
-[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+using detail::fail;
+using detail::split_ws;
+using detail::trim;
 
 // --- enum <-> text ----------------------------------------------------------
 
@@ -43,48 +46,19 @@ FaultKind parse_fault_kind(const std::string& s) {
 // --- scalar parsing ---------------------------------------------------------
 
 double parse_double(const std::string& s, const std::string& key) {
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0')
-    fail("scenario: '" + key + "' expects a number, got '" + s + "'");
-  return v;
+  return detail::parse_double(s, key, "scenario");
 }
 
 std::uint64_t parse_u64(const std::string& s, const std::string& key) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0' || s.front() == '-')
-    fail("scenario: '" + key + "' expects a non-negative integer, got '" + s + "'");
-  return static_cast<std::uint64_t>(v);
+  return detail::parse_u64(s, key, "scenario");
 }
 
 std::int64_t parse_i64(const std::string& s, const std::string& key) {
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0')
-    fail("scenario: '" + key + "' expects an integer, got '" + s + "'");
-  return static_cast<std::int64_t>(v);
+  return detail::parse_i64(s, key, "scenario");
 }
 
 bool parse_bool(const std::string& s, const std::string& key) {
-  if (s == "true") return true;
-  if (s == "false") return false;
-  fail("scenario: '" + key + "' expects true or false, got '" + s + "'");
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-std::vector<std::string> split_ws(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string tok;
-  while (in >> tok) out.push_back(tok);
-  return out;
+  return detail::parse_bool(s, key, "scenario");
 }
 
 }  // namespace

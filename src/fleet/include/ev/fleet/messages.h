@@ -1,0 +1,59 @@
+/// \file messages.h
+/// Wire vocabulary of the fleet charging backend, modeled on the OCPP 1.6J
+/// charge-point -> central-system call set: BootNotification, Heartbeat,
+/// Authorize (two-phase challenge-response over the security layer),
+/// StartTransaction, MeterValues, StopTransaction. Messages are plain data;
+/// the retry queue owns delivery semantics and the central system owns the
+/// replies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ev::fleet {
+
+/// Charge-point initiated calls (the OCPP 1.6 core-profile subset the
+/// simulation reproduces).
+enum class MessageType : std::uint8_t {
+  kBootNotification,
+  kHeartbeat,
+  kAuthorize,
+  kStartTransaction,
+  kMeterValues,
+  kStopTransaction,
+};
+
+[[nodiscard]] std::string to_string(MessageType type);
+
+/// One charge-point -> central call. `created_s` is the *first* enqueue
+/// time and survives retries and dead-letter redelivery, so the central
+/// system's control-decision latency includes every backoff the message
+/// sat through. MeterValues/StopTransaction carry the *cumulative* session
+/// energy, which makes redelivery idempotent (the central bills the
+/// maximum it has seen, never a sum of duplicates).
+struct Message {
+  MessageType type = MessageType::kHeartbeat;
+  std::uint32_t station = 0;
+  std::uint32_t session = 0;   ///< Station-local session ordinal (0 = none).
+  std::uint8_t auth_phase = 0;  ///< Authorize: 0 = request, 1 = challenge answer.
+  double created_s = 0.0;
+  double meter_kwh = 0.0;      ///< Cumulative session energy (Meter/Stop).
+  std::array<std::uint8_t, 32> tag{};  ///< HMAC-SHA-256 (Authorize phase 1).
+};
+
+/// Central decision attached to a reply.
+enum class ReplyStatus : std::uint8_t { kAccepted, kRejected, kChallenge };
+
+/// Central -> charge-point reply, returned synchronously for every call
+/// that reaches the central system (the call leg carries the loss/retry
+/// model; replies to a delivered call are not lost separately).
+struct Reply {
+  MessageType in_reply_to = MessageType::kHeartbeat;
+  ReplyStatus status = ReplyStatus::kAccepted;
+  std::uint32_t session = 0;
+  std::array<std::uint8_t, 16> challenge{};  ///< kChallenge payload.
+  double allocated_a = -1.0;  ///< Start ack: initial current grant (< 0 = none).
+};
+
+}  // namespace ev::fleet

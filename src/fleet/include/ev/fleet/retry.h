@@ -1,0 +1,120 @@
+/// \file retry.h
+/// Deterministic retry/timeout/exponential-backoff queue for control
+/// messages. Every send attempt either reaches the central system, re-arms
+/// with `timeout + min(cap, base * 2^(attempt-1)) * (1 + jitter*u)` where u
+/// is drawn from the *owning station's* seeded RNG (so two same-seed runs
+/// back off at bit-identical times), or — once the bounded attempt budget
+/// is exhausted — lands in the caller's dead-letter handler. The queue
+/// never drops a message silently: delivered + dead-lettered == enqueued,
+/// always.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ev/fleet/messages.h"
+#include "ev/util/rng.h"
+
+namespace ev::fleet {
+
+/// Bounded-budget backoff policy (all stations of a fleet share one).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;  ///< Attempt budget; >= 1.
+  double timeout_s = 2.0;          ///< Loss-detection delay before any retry.
+  double backoff_base_s = 2.0;     ///< First backoff; doubles per attempt.
+  double backoff_cap_s = 60.0;     ///< Exponential growth saturates here.
+  double jitter = 0.1;             ///< Fractional seeded jitter in [0, 1].
+};
+
+/// Per-station outgoing message queue with retry bookkeeping.
+class RetryQueue {
+ public:
+  explicit RetryQueue(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// Queues \p msg, first attempt due immediately.
+  void enqueue(const Message& msg, double now_s) {
+    entries_.push_back(Entry{msg, 0, now_s});
+    ++enqueued_;
+  }
+
+  /// The retry delay after \p attempt failed attempts (>= 1). Consumes
+  /// exactly one RNG draw, so the stream position is a pure function of the
+  /// failure count.
+  [[nodiscard]] double backoff_delay_s(std::uint32_t attempt, util::Rng& rng) const {
+    const double exponent = static_cast<double>(attempt >= 1 ? attempt - 1 : 0);
+    const double backoff =
+        std::min(policy_.backoff_cap_s, policy_.backoff_base_s * std::exp2(exponent));
+    return policy_.timeout_s + backoff * (1.0 + policy_.jitter * rng.uniform());
+  }
+
+  /// Attempts every due entry in enqueue order. \p try_send(msg) returns
+  /// true when the message reached the central system; on failure the entry
+  /// re-arms with backoff, or — when the attempt budget is spent — is
+  /// handed to \p on_dead_letter(msg) and removed. Entries that are not due
+  /// yet keep their position.
+  template <typename SendFn, typename DeadFn>
+  void pump(double now_s, util::Rng& rng, SendFn&& try_send, DeadFn&& on_dead_letter) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry entry = entries_[i];
+      bool remove = false;
+      if (entry.due_s <= now_s) {
+        ++entry.attempts;
+        ++attempts_;
+        if (try_send(entry.msg)) {
+          ++delivered_;
+          remove = true;
+        } else if (entry.attempts >= policy_.max_attempts) {
+          ++dead_letters_;
+          on_dead_letter(entry.msg);
+          remove = true;
+        } else {
+          ++retries_;
+          entry.due_s = now_s + backoff_delay_s(entry.attempts, rng);
+        }
+      }
+      if (!remove) entries_[keep++] = entry;
+    }
+    entries_.resize(keep);
+  }
+
+  /// True when a message of \p type is still queued (pending or backing off).
+  [[nodiscard]] bool has(MessageType type) const noexcept {
+    for (const Entry& e : entries_)
+      if (e.msg.type == type) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t enqueued() const noexcept { return enqueued_; }
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t dead_letters() const noexcept { return dead_letters_; }
+  /// Due time of the next pending entry; +inf when empty (test hook).
+  [[nodiscard]] double next_due_s() const noexcept {
+    double due = std::numeric_limits<double>::infinity();
+    for (const Entry& e : entries_) due = std::min(due, e.due_s);
+    return due;
+  }
+
+ private:
+  struct Entry {
+    Message msg;
+    std::uint32_t attempts = 0;
+    double due_s = 0.0;
+  };
+
+  RetryPolicy policy_;
+  std::vector<Entry> entries_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t dead_letters_ = 0;
+};
+
+}  // namespace ev::fleet

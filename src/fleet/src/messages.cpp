@@ -1,0 +1,17 @@
+#include "ev/fleet/messages.h"
+
+namespace ev::fleet {
+
+std::string to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kBootNotification: return "BootNotification";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kAuthorize: return "Authorize";
+    case MessageType::kStartTransaction: return "StartTransaction";
+    case MessageType::kMeterValues: return "MeterValues";
+    case MessageType::kStopTransaction: return "StopTransaction";
+  }
+  return "unknown";
+}
+
+}  // namespace ev::fleet

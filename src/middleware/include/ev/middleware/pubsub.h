@@ -71,13 +71,6 @@ class PubSubBroker {
   /// the broker's arena with no intermediate container.
   void publish(TopicId topic, std::span<const std::uint8_t> data, std::int64_t now_us);
 
-  /// Owning-container overload, superseded by the span entry point above
-  /// (the vector is an intermediate copy the arena makes redundant).
-  [[deprecated("pass a std::span<const std::uint8_t>; the broker copies into its own storage")]]
-  void publish(TopicId topic, std::vector<std::uint8_t> data, std::int64_t now_us) {
-    publish(topic, std::span<const std::uint8_t>(data.data(), data.size()), now_us);
-  }
-
   /// Delivers all buffered samples in publication order. Called by the
   /// dispatcher at deterministic schedule points. The \p now_us overload
   /// additionally attributes per-sample delivery latency (now - published)

@@ -1,0 +1,34 @@
+# Determinism contract of the fleet charging backend, run under ctest (see
+# tests/CMakeLists.txt): the same .fleet scenario through `evsys fleet` must
+# render a byte-identical report for any --jobs value — the parallel station
+# advance may not leak scheduling order into the serial fold.
+# Expects -DEVSYS=<path to the evsys binary> and -DSOURCE_DIR=<repo root>.
+if(NOT DEFINED EVSYS OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DEVSYS=<binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+set(scenario "${SOURCE_DIR}/examples/scenarios/depot_fleet.fleet")
+set(out_serial "${CMAKE_CURRENT_BINARY_DIR}/fleet_jobs1.json")
+set(out_parallel "${CMAKE_CURRENT_BINARY_DIR}/fleet_jobs8.json")
+
+foreach(jobs_out IN ITEMS "1;${out_serial}" "8;${out_parallel}")
+  list(GET jobs_out 0 jobs)
+  list(GET jobs_out 1 out)
+  execute_process(
+    COMMAND "${EVSYS}" fleet "${scenario}" --jobs "${jobs}" --out "${out}"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys fleet --jobs ${jobs} failed with ${code}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${out_serial}" "${out_parallel}"
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+    "fleet report differs between --jobs 1 and --jobs 8 — the station fan "
+    "leaks scheduling order into the fold")
+endif()
+message(STATUS "deterministic: fleet --jobs 1 and --jobs 8 reports byte-identical")

@@ -16,8 +16,7 @@ using namespace ev::middleware;
 using ev::sim::Simulator;
 using ev::sim::Time;
 
-// Empty payload for raw-broker tests (explicit span: a bare `{}` would be
-// ambiguous between the span and deprecated vector publish overloads).
+// Empty payload for raw-broker tests.
 constexpr std::span<const std::uint8_t> kNoBytes{};
 
 Runnable ok_runnable(const std::string& name, std::int64_t period_us,
@@ -206,16 +205,19 @@ TEST(PubSub, InterleavedPayloadsStayIntact) {
   EXPECT_EQ(seen[2], (std::vector<std::uint8_t>{5, 6}));
 }
 
-TEST(PubSub, DeprecatedVectorOverloadStillForwards) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PubSub, VectorPayloadPublishesThroughSpan) {
+  // The owning-vector overload is gone; a vector payload publishes through
+  // the implicit vector -> span conversion and the broker copies the bytes
+  // into its arena, so the vector can die before flush().
   PubSubBroker broker;
   std::size_t seen_size = 0;
   broker.subscribe(9, [&](const SampleView& s) { seen_size = s.data.size(); });
-  broker.publish(9, std::vector<std::uint8_t>{7, 8, 9}, 0);
+  {
+    const std::vector<std::uint8_t> payload{7, 8, 9};
+    broker.publish(9, payload, 0);
+  }
   broker.flush();
   EXPECT_EQ(seen_size, 3u);
-#pragma GCC diagnostic pop
 }
 
 TEST(PubSub, ViewToSampleDeepCopies) {

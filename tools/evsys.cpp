@@ -7,6 +7,7 @@
 //   $ evsys run examples/scenarios/city_commute.scn
 //   $ evsys run limp.scn --out limp.result.json --metrics limp
 //   $ evsys campaign city.scn --seeds 8 --jobs 4       # parallel seed ladder
+//   $ evsys fleet examples/scenarios/depot_fleet.fleet --jobs 8   # fleet run
 //   $ evsys check examples/scenarios/city_commute.scn   # static analysis
 //   $ evsys print examples/scenarios/city_commute.scn   # canonical round-trip
 #include <cstdio>
@@ -19,9 +20,12 @@
 
 #include "ev/analysis/analyzer.h"
 #include "ev/campaign/campaign.h"
+#include "ev/config/fleet.h"
 #include "ev/config/scenario.h"
 #include "ev/core/scenario.h"
 #include "ev/core/subsystems.h"
+#include "ev/fleet/simulation.h"
+#include "ev/obs/export.h"
 
 namespace {
 
@@ -30,9 +34,11 @@ int usage(const char* argv0) {
                "usage: %s run <scenario.scn> [--out <file>] [--metrics <base>]\n"
                "       %s campaign <scenario.scn> [--seeds <n>] [--first <seed>]\n"
                "                [--stride <n>] [--jobs <n>] [--out <file>]\n"
+               "       %s fleet <scenario.fleet> [--jobs <n>] [--out <file>]\n"
+               "                [--metrics <base>]\n"
                "       %s check <scenario.scn> [--out <file>]\n"
                "       %s print <scenario.scn>\n"
-               "       %s template\n"
+               "       %s template [fleet]\n"
                "\n"
                "  run       build the vehicle the scenario describes, drive its\n"
                "            cycle, and write the deterministic result JSON to\n"
@@ -52,10 +58,20 @@ int usage(const char* argv0) {
                "            plus wiring lints. Diagnostics JSON goes to stdout\n"
                "            (or --out <file>), a summary to stderr. Exit code:\n"
                "            0 clean, 1 errors, 3 warnings only.\n"
+               "  fleet     simulate the OCPP-style fleet charging backend the\n"
+               "            .fleet scenario describes — heartbeat leases,\n"
+               "            retry/backoff control channel, grid-aware load\n"
+               "            balancing under injected grid faults — on --jobs\n"
+               "            worker threads (default 1; 0 = one per hardware\n"
+               "            thread) and write the deterministic fleet report\n"
+               "            JSON to stdout (or --out). --metrics <base> also\n"
+               "            exports <base>.metrics.json/.metrics.csv. Output\n"
+               "            is byte-identical for any --jobs value.\n"
                "  print     parse + validate a scenario and print its canonical\n"
                "            text form (a lossless round-trip).\n"
-               "  template  print a default scenario to start from.\n",
-               argv0, argv0, argv0, argv0, argv0);
+               "  template  print a default scenario to start from\n"
+               "            ('template fleet' prints a fleet scenario).\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -144,6 +160,45 @@ int cmd_run(const std::string& path, const std::string& out_path,
   return out ? 0 : 1;
 }
 
+int cmd_fleet(const std::string& path, int jobs, const std::string& out_path,
+              const std::string& metrics_base) {
+  const ev::config::FleetSpec spec = ev::config::load_fleet_file(path);
+  ev::obs::MetricsRegistry metrics;
+  const ev::fleet::FleetResult result = ev::fleet::run_fleet(
+      spec, jobs, metrics_base.empty() ? nullptr : &metrics);
+
+  std::fprintf(stderr,
+               "evsys fleet: %s — %llu station(s), %llu tick(s), mode %s, "
+               "%llu session(s) completed, %llu grid violation(s)\n",
+               result.name.c_str(),
+               static_cast<unsigned long long>(result.station_count),
+               static_cast<unsigned long long>(result.ticks),
+               ev::fleet::to_string(result.final_mode).c_str(),
+               static_cast<unsigned long long>(result.stations.sessions_completed),
+               static_cast<unsigned long long>(result.grid_violations));
+
+  if (!metrics_base.empty()) {
+    if (!ev::obs::write_metrics_json_file(metrics, metrics_base + ".metrics.json") ||
+        !ev::obs::write_metrics_csv_file(metrics, metrics_base + ".metrics.csv")) {
+      std::fprintf(stderr, "evsys: could not write metrics files '%s.*'\n",
+                   metrics_base.c_str());
+      return 1;
+    }
+  }
+
+  if (out_path.empty()) {
+    ev::fleet::write_fleet_json(result, std::cout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "evsys: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  ev::fleet::write_fleet_json(result, out);
+  return out ? 0 : 1;
+}
+
 int cmd_print(const std::string& path) {
   const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
   std::fputs(spec.to_text().c_str(), stdout);
@@ -161,7 +216,30 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string command = argv[1];
   try {
-    if (command == "template") return cmd_template();
+    if (command == "template") {
+      if (argc >= 3 && std::strcmp(argv[2], "fleet") == 0) {
+        std::fputs(ev::config::FleetSpec{}.to_text().c_str(), stdout);
+        return 0;
+      }
+      return cmd_template();
+    }
+    if (command == "fleet") {
+      if (argc < 3) return usage(argv[0]);
+      int jobs = 1;
+      std::string out_path, metrics_base;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+          metrics_base = argv[++i];
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      return cmd_fleet(argv[2], jobs, out_path, metrics_base);
+    }
     if (command == "print") {
       if (argc != 3) return usage(argv[0]);
       return cmd_print(argv[2]);
