@@ -34,6 +34,15 @@ struct FrameModel {
   std::string description;
   bool routed = false;  ///< Injected by the gateway, not a local source.
   std::size_t source_frame = kNoFrame;  ///< Origin (routed frames only).
+  /// Original Fig. 1 identifier — the key `arch.*` overrides use, stable
+  /// under renumbering.
+  std::uint32_t base_id = 0;
+  /// True when arch.frame_bus may place this frame on another bus (plain
+  /// periodic sources that feed no gateway route and are not MOST-native).
+  bool movable = false;
+  /// True when arch.frame_id may renumber this frame (its bus is CAN, where
+  /// the identifier is the arbitration priority).
+  bool id_mutable = false;
 
   static constexpr std::size_t kNoFrame = static_cast<std::size_t>(-1);
 };

@@ -1,539 +1,16 @@
 #include "ev/analysis/analyzer.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "ev/network/can.h"
-#include "ev/network/flexray.h"
-#include "ev/network/lin.h"
-#include "ev/scheduling/response_time.h"
-#include "ev/util/math.h"
+#include "ev/analysis/fitness.h"
 
 namespace ev::analysis {
-namespace {
-
-constexpr double kSecondsToUs = 1e6;
-
-std::string hex_id(std::uint32_t id) {
-  char buf[16];
-  std::snprintf(buf, sizeof buf, "0x%03x", id);
-  return buf;
-}
-
-std::string frame_subject(const VehicleModel& model, const FrameModel& frame) {
-  return model.buses[frame.bus].scenario_name + "/" + hex_id(frame.id);
-}
-
-// ------------------------------------------------------------------- ECU ----
-
-void check_ecu(const VehicleModel& model, Report& report) {
-  const core::CockpitAppModel& app = model.app;
-  const std::string ecu = app.ecu_name;
-
-  std::int64_t budget_sum = 0;
-  for (const core::PartitionModel& partition : app.partitions)
-    budget_sum += partition.budget_us;
-  if (budget_sum > app.major_frame_us) {
-    report.add(Severity::kError, "ecu.frame_overflow", ecu,
-               "partition budgets (" + std::to_string(budget_sum) +
-                   " us) exceed the major frame (" +
-                   std::to_string(app.major_frame_us) + " us)",
-               static_cast<double>(budget_sum));
-  } else {
-    // The dispatcher runs windows back-to-back in creation order: model each
-    // window as a fixed-priority task (priority = position) with the major
-    // frame as its period. Responses bound the window-completion offset.
-    std::vector<scheduling::FpTask> tasks;
-    for (std::size_t i = 0; i < app.partitions.size(); ++i) {
-      scheduling::FpTask task;
-      task.name = app.partitions[i].name;
-      task.priority = static_cast<int>(i);
-      task.period_us = app.major_frame_us;
-      task.wcet_us = app.partitions[i].budget_us;
-      tasks.push_back(std::move(task));
-    }
-    for (const scheduling::FpResponse& response :
-         scheduling::fp_response_times(tasks)) {
-      const std::string subject = ecu + "/" + response.name;
-      if (response.schedulable)
-        report.add(Severity::kInfo, "rta.partition", subject,
-                   "window completes within " +
-                       std::to_string(response.response_us) +
-                       " us of the frame start",
-                   static_cast<double>(response.response_us));
-      else
-        report.add(Severity::kError, "rta.unschedulable", subject,
-                   "partition window cannot complete within the major frame",
-                   static_cast<double>(response.response_us));
-    }
-  }
-
-  std::int64_t window_offset = 0;
-  for (const core::PartitionModel& partition : app.partitions) {
-    const std::string subject = ecu + "/" + partition.name;
-    std::int64_t demand = 0;
-    for (const core::RunnableModel& runnable : partition.runnables) {
-      const std::int64_t activations =
-          runnable.period_us > 0
-              ? std::max<std::int64_t>(
-                    1, util::ceil_div(app.major_frame_us, runnable.period_us))
-              : 1;
-      demand += runnable.wcet_us * activations;
-    }
-    if (demand > partition.budget_us)
-      report.add(Severity::kError, "partition.overcommitted", subject,
-                 "runnable demand (" + std::to_string(demand) +
-                     " us per frame) exceeds the budget (" +
-                     std::to_string(partition.budget_us) + " us)",
-                 static_cast<double>(demand));
-    else if (budget_sum <= app.major_frame_us)
-      for (const core::RunnableModel& runnable : partition.runnables) {
-        // A job released anywhere in the cycle completes no later than one
-        // full major frame plus its own window's end offset.
-        const std::int64_t bound =
-            app.major_frame_us + window_offset + partition.budget_us;
-        report.add(Severity::kInfo, "rta.runnable", subject + "/" + runnable.name,
-                   "activation-to-completion bound " + std::to_string(bound) +
-                       " us",
-                   static_cast<double>(bound));
-      }
-    window_offset += partition.budget_us;
-  }
-
-  // Publications buffered between frames are delivered at the first window
-  // flush of the next major frame at the latest.
-  if (!app.partitions.empty() && budget_sum <= app.major_frame_us) {
-    const std::int64_t flush_bound =
-        app.major_frame_us + app.partitions.front().budget_us;
-    for (const core::TopicModel& topic : app.topics)
-      report.add(Severity::kInfo, "rta.pubsub", ecu + "/" + topic.name,
-                 "publish-to-delivery bound " + std::to_string(flush_bound) +
-                     " us (flush at the first window boundary)",
-                 static_cast<double>(flush_bound));
-  }
-}
-
-// ----------------------------------------------------------------- buses ----
-
-/// Per-frame analysis state across the multi-pass bound computation.
-struct FrameBounds {
-  double e2e_s = 0.0;   ///< Send-to-delivery bound incl. upstream legs.
-  bool valid = false;   ///< False when the protocol rejects the frame.
-};
-
-double jitter_of(const VehicleModel& model, const FrameModel& frame,
-                 const std::vector<FrameBounds>& bounds) {
-  if (!frame.routed) return 0.0;
-  return bounds[frame.source_frame].e2e_s + model.gateway_delay_s;
-}
-
-void analyze_can(const VehicleModel& model, std::size_t bus_idx,
-                 const std::vector<std::size_t>& on_bus,
-                 std::vector<FrameBounds>& bounds, Report* report) {
-  const BusModel& bus = model.buses[bus_idx];
-  std::vector<network::CanMessageSpec> specs;
-  std::map<std::uint32_t, std::size_t> by_id;
-  double load = 0.0;
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    if (frame.payload_bytes > 8) {
-      if (report)
-        report->add(Severity::kError, "can.payload_size",
-                    frame_subject(model, frame),
-                    frame.description + ": " +
-                        std::to_string(frame.payload_bytes) +
-                        "-byte payload exceeds the 8-byte CAN limit",
-                    static_cast<double>(frame.payload_bytes));
-      continue;
-    }
-    network::CanMessageSpec spec;
-    spec.id = frame.id;
-    spec.payload_bytes = frame.payload_bytes;
-    spec.period_s = frame.period_s;
-    spec.jitter_s = jitter_of(model, frame, bounds);
-    load += static_cast<double>(network::CanBus::frame_bits(frame.payload_bytes)) /
-            bus.bit_rate_bps / frame.period_s;
-    by_id.emplace(frame.id, f);
-    specs.push_back(spec);
-  }
-  if (report) {
-    report->add(Severity::kInfo, "bus.load", bus.scenario_name,
-                "offered load " + config::format_double(load) +
-                    " of the bus capacity",
-                load);
-    if (load > 1.0)
-      report->add(Severity::kError, "bus.overload", bus.scenario_name,
-                  "offered load exceeds the bus capacity — queues diverge",
-                  load);
-  }
-  for (const network::CanResponseTime& response :
-       network::can_response_times(specs, bus.bit_rate_bps)) {
-    const auto it = by_id.find(response.id);
-    if (it == by_id.end()) continue;
-    const FrameModel& frame = model.frames[it->second];
-    // The CAN bound already includes the release jitter, i.e. the upstream
-    // leg for routed frames: it is the end-to-end figure directly.
-    bounds[it->second].e2e_s = response.worst_case_s;
-    bounds[it->second].valid = response.schedulable;
-    if (report && !response.schedulable)
-      report->add(Severity::kError, "rta.unschedulable",
-                  frame_subject(model, frame),
-                  frame.description +
-                      ": worst-case response exceeds the period (" +
-                      config::format_double(frame.period_s * kSecondsToUs) +
-                      " us)",
-                  response.worst_case_s * kSecondsToUs);
-  }
-}
-
-void analyze_lin(const VehicleModel& model, std::size_t bus_idx,
-                 const std::vector<std::size_t>& on_bus,
-                 std::vector<FrameBounds>& bounds, Report* report) {
-  const BusModel& bus = model.buses[bus_idx];
-  double load = 0.0;
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    const bool has_slot =
-        std::find(bus.lin_slot_ids.begin(), bus.lin_slot_ids.end(), frame.id) !=
-        bus.lin_slot_ids.end();
-    if (!has_slot) {
-      if (report)
-        report->add(Severity::kError, "lin.no_slot", frame_subject(model, frame),
-                    frame.description +
-                        ": id has no slot in the master schedule table — "
-                        "send() fails silently",
-                    0.0);
-      continue;
-    }
-    // State semantics: worst case waits one full table cycle for the slot,
-    // then the slot time covers the transmission.
-    bounds[f].e2e_s =
-        jitter_of(model, frame, bounds) + bus.lin_cycle_s + bus.lin_slot_time_s;
-    bounds[f].valid = true;
-    const double period_eff = std::max(frame.period_s, bus.lin_cycle_s);
-    load += static_cast<double>(network::LinBus::frame_bits(frame.payload_bytes)) /
-            bus.bit_rate_bps / period_eff;
-    if (report && frame.period_s < bus.lin_cycle_s)
-      report->add(Severity::kWarning, "lin.oversampled",
-                  frame_subject(model, frame),
-                  frame.description + ": published every " +
-                      config::format_double(frame.period_s * kSecondsToUs) +
-                      " us but the schedule cycle is " +
-                      config::format_double(bus.lin_cycle_s * kSecondsToUs) +
-                      " us — intermediate values are overwritten",
-                  bus.lin_cycle_s * kSecondsToUs);
-  }
-  if (report)
-    report->add(Severity::kInfo, "bus.load", bus.scenario_name,
-                "offered load " + config::format_double(load) +
-                    " of the bus capacity",
-                load);
-}
-
-void analyze_flexray(const VehicleModel& model, std::size_t bus_idx,
-                     const std::vector<std::size_t>& on_bus,
-                     std::vector<FrameBounds>& bounds, Report* report) {
-  const BusModel& bus = model.buses[bus_idx];
-
-  // Dynamic-segment bookkeeping shared by every dynamic frame on the bus.
-  struct Dynamic {
-    std::size_t frame = 0;
-    double occupied_s = 0.0;
-    std::int64_t per_cycle = 1;
-  };
-  std::vector<Dynamic> dynamics;
-  double load = 0.0;
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    if (bus.fr_static_slot.count(frame.id) > 0) {
-      const double tx_s =
-          static_cast<double>(network::FlexRayBus::frame_bits(frame.payload_bytes)) /
-          bus.bit_rate_bps;
-      load += tx_s / std::max(frame.period_s, bus.fr_cycle_s);
-      continue;
-    }
-    const double tx_s =
-        static_cast<double>(network::FlexRayBus::frame_bits(frame.payload_bytes)) /
-        bus.bit_rate_bps;
-    if (tx_s > bus.fr_dynamic_s) {
-      if (report)
-        report->add(Severity::kError, "flexray.dynamic_overflow",
-                    frame_subject(model, frame),
-                    frame.description + ": " +
-                        std::to_string(frame.payload_bytes) +
-                        "-byte frame does not fit the dynamic segment",
-                    tx_s * kSecondsToUs);
-      continue;
-    }
-    Dynamic d;
-    d.frame = f;
-    d.occupied_s = std::ceil(tx_s / bus.fr_minislot_s) * bus.fr_minislot_s;
-    d.per_cycle = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(std::ceil(bus.fr_cycle_s / frame.period_s)));
-    load += tx_s / frame.period_s;
-    dynamics.push_back(d);
-  }
-
-  double dynamic_demand_s = 0.0;  // minislot time claimed per cycle
-  for (const Dynamic& d : dynamics)
-    dynamic_demand_s += d.occupied_s * static_cast<double>(d.per_cycle);
-  const double extra_cycles =
-      dynamic_demand_s > bus.fr_dynamic_s
-          ? std::ceil(dynamic_demand_s / bus.fr_dynamic_s) - 1.0
-          : 0.0;
-  if (report) {
-    report->add(Severity::kInfo, "bus.load", bus.scenario_name,
-                "offered load " + config::format_double(load) +
-                    " of the bus capacity",
-                load);
-    const double dynamic_ratio =
-        bus.fr_dynamic_s > 0.0 ? dynamic_demand_s / bus.fr_dynamic_s : 0.0;
-    if (dynamic_ratio > 1.0)
-      report->add(Severity::kError, "bus.overload", bus.scenario_name,
-                  "dynamic-segment demand exceeds the minislot capacity — "
-                  "event frames defer indefinitely",
-                  dynamic_ratio);
-  }
-
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    const auto slot = bus.fr_static_slot.find(frame.id);
-    if (slot != bus.fr_static_slot.end()) {
-      // State-buffered TDMA: worst case misses the current cycle, then the
-      // frame leaves in its fixed slot of the next one.
-      bounds[f].e2e_s =
-          jitter_of(model, frame, bounds) + bus.fr_cycle_s +
-          static_cast<double>(slot->second + 1) * bus.fr_slot_s;
-      bounds[f].valid = true;
-      if (report && frame.period_s < bus.fr_cycle_s)
-        report->add(Severity::kWarning, "flexray.oversampled",
-                    frame_subject(model, frame),
-                    frame.description + ": published every " +
-                        config::format_double(frame.period_s * kSecondsToUs) +
-                        " us but the communication cycle is " +
-                        config::format_double(bus.fr_cycle_s * kSecondsToUs) +
-                        " us — intermediate values are overwritten",
-                    bus.fr_cycle_s * kSecondsToUs);
-      continue;
-    }
-    const auto dyn = std::find_if(dynamics.begin(), dynamics.end(),
-                                  [f](const Dynamic& d) { return d.frame == f; });
-    if (dyn == dynamics.end()) continue;  // rejected above
-    const double tx_s =
-        static_cast<double>(network::FlexRayBus::frame_bits(frame.payload_bytes)) /
-        bus.bit_rate_bps;
-    // Minislot arbitration serves ascending ids: lower ids (and earlier
-    // instances of this id) claim their minislots first.
-    double interference_s = dyn->occupied_s * static_cast<double>(dyn->per_cycle - 1);
-    for (const Dynamic& other : dynamics)
-      if (model.frames[other.frame].id < frame.id)
-        interference_s += other.occupied_s * static_cast<double>(other.per_cycle);
-    bounds[f].e2e_s = jitter_of(model, frame, bounds) +
-                      (1.0 + extra_cycles) * bus.fr_cycle_s +
-                      bus.fr_static_segment_s + interference_s + tx_s;
-    bounds[f].valid = true;
-  }
-}
-
-void analyze_most(const VehicleModel& model, std::size_t bus_idx,
-                  const std::vector<std::size_t>& on_bus,
-                  std::vector<FrameBounds>& bounds, Report* report) {
-  const BusModel& bus = model.buses[bus_idx];
-  const auto is_sync = [&bus](std::uint32_t id) {
-    return std::find(bus.most_sync_ids.begin(), bus.most_sync_ids.end(), id) !=
-           bus.most_sync_ids.end();
-  };
-  // FCFS asynchronous region: at most one outstanding frame per id queues
-  // ahead, so the backlog a new frame can find is the sum of all async
-  // payloads on the bus.
-  double async_backlog_bytes = 0.0;
-  double async_demand = 0.0;  // bytes/s
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    if (is_sync(frame.id)) continue;
-    async_backlog_bytes += static_cast<double>(frame.payload_bytes);
-    async_demand += static_cast<double>(frame.payload_bytes) / frame.period_s;
-  }
-  const double budget_rate =
-      static_cast<double>(bus.most_async_budget_bytes) / bus.most_frame_period_s;
-  if (report) {
-    const double ratio = budget_rate > 0.0 ? async_demand / budget_rate : 0.0;
-    report->add(Severity::kInfo, "bus.load", bus.scenario_name,
-                "offered load " + config::format_double(ratio) +
-                    " of the asynchronous-region capacity",
-                ratio);
-    if (ratio > 1.0)
-      report->add(Severity::kError, "bus.overload", bus.scenario_name,
-                  "asynchronous demand exceeds the per-frame byte budget — "
-                  "the packet queue diverges",
-                  ratio);
-  }
-  for (const std::size_t f : on_bus) {
-    const FrameModel& frame = model.frames[f];
-    if (is_sync(frame.id)) {
-      // Isochronous pipeline: delivery exactly one frame period after send.
-      bounds[f].e2e_s = jitter_of(model, frame, bounds) + bus.most_frame_period_s;
-      bounds[f].valid = true;
-      continue;
-    }
-    const double frames_needed =
-        bus.most_async_budget_bytes > 0
-            ? std::ceil(async_backlog_bytes /
-                        static_cast<double>(bus.most_async_budget_bytes))
-            : 1.0;
-    // +1 frame period aligns to the ring clock; the last fragment lands one
-    // period after the frame that carried it.
-    bounds[f].e2e_s = jitter_of(model, frame, bounds) +
-                      (frames_needed + 1.0) * bus.most_frame_period_s;
-    bounds[f].valid = true;
-  }
-}
-
-void check_buses(const VehicleModel& model, Report& report) {
-  std::vector<std::vector<std::size_t>> per_bus(model.buses.size());
-  for (std::size_t f = 0; f < model.frames.size(); ++f)
-    per_bus[model.frames[f].bus].push_back(f);
-
-  // Routed frames need their source's bound as release jitter; gateway
-  // chains are at most source -> destination, but a destination bus may in
-  // turn feed another (safety -> chassis -> comfort would be depth 2), so
-  // iterate to a fixed point: three passes cover every chain in Fig. 1 and
-  // the result is deterministic regardless.
-  std::vector<FrameBounds> bounds(model.frames.size());
-  const auto run_pass = [&](Report* emit) {
-    for (std::size_t b = 0; b < model.buses.size(); ++b) {
-      switch (model.buses[b].protocol) {
-        case Protocol::kLin: analyze_lin(model, b, per_bus[b], bounds, emit); break;
-        case Protocol::kCan: analyze_can(model, b, per_bus[b], bounds, emit); break;
-        case Protocol::kMost: analyze_most(model, b, per_bus[b], bounds, emit); break;
-        case Protocol::kFlexRay:
-          analyze_flexray(model, b, per_bus[b], bounds, emit);
-          break;
-      }
-    }
-  };
-  run_pass(nullptr);
-  run_pass(nullptr);
-  run_pass(&report);  // final pass emits diagnostics with settled bounds
-
-  for (std::size_t b = 0; b < model.buses.size(); ++b) {
-    double bus_max_s = 0.0;
-    for (const std::size_t f : per_bus[b]) {
-      if (!bounds[f].valid) continue;
-      const FrameModel& frame = model.frames[f];
-      report.add(Severity::kInfo, "rta.frame", frame_subject(model, frame),
-                 frame.description + ": end-to-end worst case " +
-                     config::format_double(bounds[f].e2e_s * kSecondsToUs) +
-                     " us",
-                 bounds[f].e2e_s * kSecondsToUs);
-      bus_max_s = std::max(bus_max_s, bounds[f].e2e_s);
-    }
-    report.add(Severity::kInfo, "rta.bus", model.buses[b].scenario_name,
-               "worst end-to-end frame response " +
-                   config::format_double(bus_max_s * kSecondsToUs) + " us",
-               bus_max_s * kSecondsToUs);
-  }
-  report.add(Severity::kInfo, "gw.delay", "central-gateway",
-             "store-and-forward processing delay per hop",
-             model.gateway_delay_s * kSecondsToUs);
-}
-
-// ---------------------------------------------------------------- wiring ----
-
-void check_wiring(const VehicleModel& model, Report& report) {
-  const std::string& ecu = model.app.ecu_name;
-  for (const core::TopicModel& topic : model.app.topics) {
-    if (topic.subscribers.empty())
-      report.add(Severity::kWarning, "pubsub.orphan_topic", ecu + "/" + topic.name,
-                 "topic is published but nobody subscribes — dead traffic");
-    if (topic.publishers.empty())
-      report.add(Severity::kWarning, "pubsub.unfed_topic", ecu + "/" + topic.name,
-                 "topic has subscribers but no publisher — they starve");
-  }
-
-  if (!model.health_enabled)
-    for (const core::PartitionModel& partition : model.app.partitions)
-      report.add(Severity::kWarning, "health.uncovered_partition",
-                 ecu + "/" + partition.name,
-                 "no heartbeat coverage: the health subsystem is disabled, a "
-                 "hang or crash goes undetected");
-
-  for (std::size_t i = 0; i < model.fault_events.size(); ++i) {
-    const config::FaultEventSpec& event = model.fault_events[i];
-    const std::string subject = "fault[" + std::to_string(i) + "]";
-    switch (event.kind) {
-      case config::FaultKind::kBusDrop:
-      case config::FaultKind::kBusCorrupt:
-      case config::FaultKind::kBusOff:
-      case config::FaultKind::kBusBabble: {
-        const bool known = std::any_of(
-            model.buses.begin(), model.buses.end(),
-            [&event](const BusModel& bus) { return bus.scenario_name == event.target; });
-        if (!known)
-          report.add(Severity::kError, "fault.unknown_target", subject,
-                     config::to_string(event.kind) + " targets unknown bus '" +
-                         event.target + "'");
-        break;
-      }
-      case config::FaultKind::kPartitionCrash:
-      case config::FaultKind::kPartitionHang: {
-        const bool known =
-            std::any_of(model.app.partitions.begin(), model.app.partitions.end(),
-                        [&event](const core::PartitionModel& partition) {
-                          return partition.name == event.target;
-                        });
-        if (!known)
-          report.add(Severity::kError, "fault.unknown_target", subject,
-                     config::to_string(event.kind) +
-                         " targets unknown cockpit partition '" + event.target +
-                         "'");
-        break;
-      }
-      case config::FaultKind::kSensorStuck: {
-        char* end = nullptr;
-        const unsigned long long cell =
-            std::strtoull(event.target.c_str(), &end, 10);
-        if (end == event.target.c_str() || *end != '\0' ||
-            cell >= model.cell_count)
-          report.add(Severity::kError, "fault.unknown_target", subject,
-                     "sensor fault targets cell '" + event.target +
-                         "' outside the pack (" +
-                         std::to_string(model.cell_count) + " cells)",
-                     static_cast<double>(model.cell_count));
-        break;
-      }
-    }
-  }
-
-  for (const RouteModel& route : model.routes) {
-    const bool fed = std::any_of(
-        model.frames.begin(), model.frames.end(), [&route](const FrameModel& frame) {
-          return !frame.routed && frame.bus == route.from_bus &&
-                 frame.id == route.match_id;
-        });
-    if (!fed)
-      report.add(Severity::kWarning, "gw.unfed_route",
-                 "central-gateway/" + hex_id(route.match_id),
-                 "gateway route from " + model.buses[route.from_bus].scenario_name +
-                     " matches an id no source ever publishes");
-  }
-}
-
-}  // namespace
 
 Report analyze(const VehicleModel& model) {
-  Report report;
-  report.scenario = model.scenario;
-  check_ecu(model, report);
-  check_buses(model, report);
-  check_wiring(model, report);
-  report.sort();
-  return report;
+  // One full evaluation of the incremental fitness core: the constructor
+  // marks everything dirty, report() settles and renders it. Keeping this a
+  // single code path is what guarantees `evsys check` and the synthesizer
+  // can never disagree about a design.
+  FitnessEvaluator evaluator(model);
+  return evaluator.report();
 }
 
 Report analyze_scenario(const config::ScenarioSpec& spec) {

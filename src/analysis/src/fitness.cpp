@@ -1,0 +1,253 @@
+#include "ev/analysis/fitness.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "passes.h"
+
+namespace ev::analysis {
+namespace {
+
+constexpr double kSecondsToUs = 1e6;
+
+}  // namespace
+
+FitnessEvaluator::FitnessEvaluator(VehicleModel model) : model_(std::move(model)) {
+  per_bus_.resize(model_.buses.size());
+  for (std::size_t f = 0; f < model_.frames.size(); ++f)
+    per_bus_[model_.frames[f].bus].push_back(f);
+  bounds_.resize(model_.frames.size());
+  bus_outcomes_.resize(model_.buses.size());
+  bus_dirty_.assign(model_.buses.size(), 1);
+}
+
+void FitnessEvaluator::mark_bus_dirty(std::size_t bus) {
+  bus_dirty_[bus] = 1;
+  any_dirty_ = true;
+  // Routed frames carry their source bound as release jitter: dirtying a bus
+  // invalidates every bus a gateway route feeds from it, transitively.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const RouteModel& route : model_.routes)
+      if (bus_dirty_[route.from_bus] && !bus_dirty_[route.to_bus]) {
+        bus_dirty_[route.to_bus] = 1;
+        changed = true;
+      }
+  }
+}
+
+void FitnessEvaluator::set_can_bit_rate(double bit_rate_bps) {
+  for (std::size_t b = 0; b < model_.buses.size(); ++b)
+    if (model_.buses[b].protocol == Protocol::kCan) {
+      model_.buses[b].bit_rate_bps = bit_rate_bps;
+      mark_bus_dirty(b);
+    }
+}
+
+void FitnessEvaluator::move_frame(std::size_t frame, std::size_t to_bus) {
+  FrameModel& f = model_.frames[frame];
+  const std::size_t from_bus = f.bus;
+  if (from_bus == to_bus) return;
+  std::vector<std::size_t>& old_list = per_bus_[from_bus];
+  old_list.erase(std::find(old_list.begin(), old_list.end(), frame));
+  // analyze() builds per-bus lists in ascending frame order; keep that
+  // invariant so the rendered report stays byte-identical.
+  std::vector<std::size_t>& new_list = per_bus_[to_bus];
+  new_list.insert(std::upper_bound(new_list.begin(), new_list.end(), frame), frame);
+  f.bus = to_bus;
+  f.id_mutable = model_.buses[to_bus].protocol == Protocol::kCan;
+  mark_bus_dirty(from_bus);
+  mark_bus_dirty(to_bus);
+  wiring_dirty_ = true;  // gw.unfed_route keys on (bus, id) of local sources
+}
+
+void FitnessEvaluator::renumber_frame(std::size_t frame, std::uint32_t new_id) {
+  FrameModel& f = model_.frames[frame];
+  const std::uint32_t old_id = f.id;
+  if (old_id == new_id) return;
+  // Keep the gateway table consistent, exactly as re-extraction with the
+  // arch.frame_id override would: a local source drags its matching route's
+  // match_id along, a routed copy drags the translated_id.
+  for (RouteModel& route : model_.routes) {
+    if (!f.routed && route.from_bus == f.bus && route.match_id == old_id)
+      route.match_id = new_id;
+    if (f.routed && route.to_bus == f.bus && route.translated_id == old_id)
+      route.translated_id = new_id;
+  }
+  f.id = new_id;
+  mark_bus_dirty(f.bus);
+  wiring_dirty_ = true;
+}
+
+void FitnessEvaluator::set_fr_slots(const std::map<std::uint32_t, std::size_t>& id_to_slot) {
+  for (std::size_t b = 0; b < model_.buses.size(); ++b)
+    if (model_.buses[b].protocol == Protocol::kFlexRay) {
+      if (id_to_slot.size() != model_.buses[b].fr_static_slot.size())
+        throw std::logic_error("set_fr_slots: slot map must keep every static id");
+      model_.buses[b].fr_static_slot = id_to_slot;
+      mark_bus_dirty(b);
+    }
+}
+
+void FitnessEvaluator::set_partition_windows(
+    const std::vector<std::pair<std::string, std::int64_t>>& windows) {
+  std::vector<core::PartitionModel>& partitions = model_.app.partitions;
+  if (windows.size() != partitions.size())
+    throw std::logic_error("set_partition_windows: must list every partition");
+  std::vector<core::PartitionModel> reordered;
+  reordered.reserve(partitions.size());
+  for (const auto& [name, budget_us] : windows) {
+    const auto it = std::find_if(
+        partitions.begin(), partitions.end(),
+        [&name](const core::PartitionModel& p) { return p.name == name; });
+    if (it == partitions.end())
+      throw std::logic_error("set_partition_windows: unknown or repeated partition '" +
+                             name + "'");
+    core::PartitionModel p = std::move(*it);
+    partitions.erase(it);
+    p.budget_us = budget_us;
+    reordered.push_back(std::move(p));
+  }
+  partitions = std::move(reordered);
+  ecu_dirty_ = true;
+  wiring_dirty_ = true;  // health.uncovered_partition iterates partitions
+}
+
+const Fitness& FitnessEvaluator::evaluate() {
+  if (any_dirty_ || ecu_dirty_ || wiring_dirty_) {
+    recompute();
+    aggregate();
+    if (cross_check_) check_against_fresh();
+  }
+  return fitness_;
+}
+
+void FitnessEvaluator::recompute() {
+  std::vector<std::size_t> dirty;
+  for (std::size_t b = 0; b < bus_dirty_.size(); ++b)
+    if (bus_dirty_[b]) dirty.push_back(b);
+  if (!dirty.empty()) {
+    // Frames on dirty buses restart from a blank bound (matches the zeroed
+    // init of a full analysis); frames on clean buses keep their settled
+    // bounds, which are exactly the fixed inputs the dirty passes need.
+    for (const std::size_t b : dirty)
+      for (const std::size_t f : per_bus_[b]) bounds_[f] = FrameBound{};
+    // Same fixed-point discipline as the monolithic analyzer: three passes
+    // in bus-index order settle every gateway chain in Fig. 1.
+    for (int pass = 0; pass < 3; ++pass)
+      for (const std::size_t b : dirty) {
+        BusOutcome outcome = passes::compute_bus(model_, b, per_bus_[b], bounds_);
+        ++bus_pass_evals_;
+        if (pass == 2) bus_outcomes_[b] = std::move(outcome);
+      }
+    for (const std::size_t b : dirty) bus_dirty_[b] = 0;
+  }
+  any_dirty_ = false;
+  if (ecu_dirty_) {
+    ecu_ = passes::compute_ecu(model_);
+    ecu_dirty_ = false;
+  }
+  if (wiring_dirty_) {
+    wiring_ = passes::compute_wiring(model_);
+    wiring_dirty_ = false;
+  }
+}
+
+void FitnessEvaluator::aggregate() {
+  Fitness fit;
+  double worst_slack_us = std::numeric_limits<double>::infinity();
+  bool any_slack = false;
+  const auto slack = [&worst_slack_us, &any_slack](double value) {
+    worst_slack_us = std::min(worst_slack_us, value);
+    any_slack = true;
+  };
+
+  // --- ECU -------------------------------------------------------------------
+  const std::int64_t major = model_.app.major_frame_us;
+  if (ecu_.frame_overflow) {
+    ++fit.errors;
+    slack(static_cast<double>(major - ecu_.budget_sum));
+  }
+  for (const scheduling::FpResponse& response : ecu_.windows) {
+    if (!response.schedulable) ++fit.errors;
+    slack(static_cast<double>(major - response.response_us));
+  }
+  for (std::size_t i = 0; i < ecu_.partition_demand.size(); ++i)
+    if (ecu_.partition_demand[i] > model_.app.partitions[i].budget_us) ++fit.errors;
+
+  // --- buses -----------------------------------------------------------------
+  for (std::size_t b = 0; b < model_.buses.size(); ++b) {
+    const BusOutcome& outcome = bus_outcomes_[b];
+    if (outcome.overloaded) ++fit.errors;
+    fit.peak_busload =
+        std::max(fit.peak_busload, std::max(outcome.load, outcome.overload_value));
+    for (const BusIssue& issue : outcome.issues) {
+      switch (issue.kind) {
+        case BusIssueKind::kCanPayload:
+        case BusIssueKind::kLinNoSlot:
+        case BusIssueKind::kFrDynamicOverflow:
+          ++fit.errors;
+          break;
+        case BusIssueKind::kCanUnschedulable:
+          ++fit.errors;
+          slack(model_.frames[issue.frame].period_s * kSecondsToUs - issue.bound);
+          break;
+        case BusIssueKind::kLinOversampled:
+        case BusIssueKind::kFrOversampled:
+          ++fit.warnings;
+          break;
+      }
+    }
+    if (model_.buses[b].protocol == Protocol::kCan)
+      for (const std::size_t f : per_bus_[b])
+        if (bounds_[f].valid)
+          slack((model_.frames[f].period_s - bounds_[f].e2e_s) * kSecondsToUs);
+    if (!per_bus_[b].empty()) ++fit.deployment;
+  }
+  fit.deployment += model_.app.partitions.size();
+
+  // --- wiring ----------------------------------------------------------------
+  for (const Diagnostic& diagnostic : wiring_) {
+    if (diagnostic.severity == Severity::kError) ++fit.errors;
+    if (diagnostic.severity == Severity::kWarning) ++fit.warnings;
+  }
+
+  fit.worst_slack_us = any_slack ? worst_slack_us : 0.0;
+  fitness_ = fit;
+}
+
+Report FitnessEvaluator::report() {
+  evaluate();
+  Report report;
+  report.scenario = model_.scenario;
+  passes::render_ecu(model_, ecu_, report);
+  for (std::size_t b = 0; b < model_.buses.size(); ++b)
+    passes::render_bus(model_, b, bus_outcomes_[b], report);
+  passes::render_frame_bounds(model_, per_bus_, bounds_, report);
+  report.diagnostics.insert(report.diagnostics.end(), wiring_.begin(), wiring_.end());
+  report.sort();
+  return report;
+}
+
+void FitnessEvaluator::check_against_fresh() {
+  FitnessEvaluator fresh(model_);
+  fresh.recompute();
+  fresh.aggregate();
+  if (fresh.per_bus_ != per_bus_)
+    throw std::logic_error("fitness cross-check: per-bus frame lists diverged");
+  if (fresh.bounds_ != bounds_)
+    throw std::logic_error("fitness cross-check: frame bounds diverged");
+  if (fresh.bus_outcomes_ != bus_outcomes_)
+    throw std::logic_error("fitness cross-check: bus outcomes diverged");
+  if (!(fresh.ecu_ == ecu_))
+    throw std::logic_error("fitness cross-check: ECU outcome diverged");
+  if (fresh.wiring_ != wiring_)
+    throw std::logic_error("fitness cross-check: wiring diagnostics diverged");
+  if (!(fresh.fitness_ == fitness_))
+    throw std::logic_error("fitness cross-check: aggregated fitness diverged");
+}
+
+}  // namespace ev::analysis

@@ -92,15 +92,20 @@ VehicleModel extract_model(const config::ScenarioSpec& spec) {
     FrameModel frame;
     frame.bus = bus_index(src.bus);
     frame.id = src.frame_id;
+    frame.base_id = src.base_id;
     frame.payload_bytes = src.payload_bytes;
     frame.period_s = src.period_s;
     frame.description = src.description;
+    // The Fig. 1 id blocks are per-domain: 0x800+ identifies MOST-native
+    // traffic, which the topology builder anchors to its bus.
+    frame.movable = src.base_id < 0x800;
     model.frames.push_back(std::move(frame));
   }
   {
     FrameModel bms;
     bms.bus = 4;
     bms.id = network::kFrameIdBmsStatus;
+    bms.base_id = network::kFrameIdBmsStatus;
     bms.payload_bytes = 2 * sizeof(double);
     bms.period_s = spec.timing.bms_publish_period_s;
     bms.description = "BMS status";
@@ -112,6 +117,7 @@ VehicleModel extract_model(const config::ScenarioSpec& spec) {
     FrameModel telemetry;
     telemetry.bus = 4;
     telemetry.id = core::kFrameIdSecureTelemetry;
+    telemetry.base_id = core::kFrameIdSecureTelemetry;
     telemetry.payload_bytes =
         2 * sizeof(double) + channel.counter_bytes + channel.tag_bytes;
     telemetry.period_s = security.publish_period_s;
@@ -144,8 +150,24 @@ VehicleModel extract_model(const config::ScenarioSpec& spec) {
       out.description = src.description + " (routed)";
       out.routed = true;
       out.source_frame = i;
+      // Translated wire ids may have been renumbered (arch.frame_id keys on
+      // the original id); invert the remap to recover the base identifier.
+      out.base_id = out.id;
+      for (const config::FrameIdSpec& remap : spec.arch.frame_ids)
+        if (remap.new_id == out.id) out.base_id = remap.frame_id;
       model.frames.push_back(std::move(out));
     }
+  }
+
+  // Frames that feed a gateway route are anchored: moving the source would
+  // sever the cross-domain flow the route exists for. Renumbering is a CAN
+  // notion (the id is the arbitration priority), so any frame whose final
+  // bus is CAN takes it.
+  for (FrameModel& frame : model.frames) {
+    for (const RouteModel& route : model.routes)
+      if (!frame.routed && frame.bus == route.from_bus && frame.id == route.match_id)
+        frame.movable = false;
+    frame.id_mutable = model.buses[frame.bus].protocol == Protocol::kCan;
   }
 
   // Classify the MOST ids actually in use (streams are private to the bus).

@@ -93,6 +93,92 @@ struct TimingSpec {
   friend bool operator==(const TimingSpec&, const TimingSpec&) = default;
 };
 
+/// One frame-placement override: the frame whose *original* Fig. 1
+/// identifier is `frame_id` is produced on the named bus instead of its
+/// default one. Only plain periodic sources can move — frames that feed a
+/// gateway route, co-simulation frames (BMS status, secure telemetry), and
+/// MOST streams are anchored, and the network builder rejects moves of
+/// those.
+struct FrameBusSpec {
+  std::uint32_t frame_id = 0;  ///< Original Fig. 1 identifier.
+  std::string bus;             ///< Target bus scenario name (e.g. `comfort_can`).
+
+  friend bool operator==(const FrameBusSpec&, const FrameBusSpec&) = default;
+};
+
+/// One CAN identifier reassignment: the frame originally numbered
+/// `frame_id` transmits as `new_id` instead. On CAN the identifier *is* the
+/// priority (lower wins arbitration), so this is the priority-assignment
+/// knob. Only frames whose final bus is CAN accept a new identifier.
+struct FrameIdSpec {
+  std::uint32_t frame_id = 0;  ///< Original Fig. 1 identifier.
+  std::uint32_t new_id = 0;    ///< Identifier actually used on the wire.
+
+  friend bool operator==(const FrameIdSpec&, const FrameIdSpec&) = default;
+};
+
+/// One FlexRay static-slot assignment: the chassis frame originally
+/// numbered `frame_id` owns static slot `slot` (0-based TDMA position).
+/// Unlisted static frames fill the remaining slots in default order.
+struct FrSlotSpec {
+  std::uint32_t frame_id = 0;  ///< Original Fig. 1 identifier.
+  std::uint64_t slot = 0;      ///< 0-based static-slot index.
+
+  friend bool operator==(const FrSlotSpec&, const FrSlotSpec&) = default;
+};
+
+/// One cockpit partition window: order in `ArchSpec::partitions` is the
+/// major-frame window order, `budget_us` the window length. When present,
+/// the list must name every default partition exactly once.
+struct PartitionWindowSpec {
+  std::string partition;         ///< Partition name (e.g. `hmi`).
+  std::int64_t budget_us = 0;    ///< Window budget [us] in the major frame.
+
+  friend bool operator==(const PartitionWindowSpec&, const PartitionWindowSpec&) =
+      default;
+};
+
+/// Architecture overrides on top of the default Fig. 1 deployment — the
+/// design-space coordinates `evsys synthesize` explores. Every list is
+/// keyed by *original* frame identifier and kept in canonical form
+/// (strictly increasing ids) so that equal designs compare equal and
+/// serialization is deterministic. An empty ArchSpec is the stock
+/// architecture; such specs emit no `arch.*` lines at all.
+struct ArchSpec {
+  std::vector<FrameBusSpec> frame_buses;        ///< Sorted by frame_id.
+  std::vector<FrameIdSpec> frame_ids;           ///< Sorted by frame_id.
+  std::vector<FrSlotSpec> fr_slots;             ///< Sorted by frame_id.
+  std::vector<PartitionWindowSpec> partitions;  ///< In window order.
+
+  [[nodiscard]] bool empty() const {
+    return frame_buses.empty() && frame_ids.empty() && fr_slots.empty() &&
+           partitions.empty();
+  }
+
+  /// Move `frame_id` to `bus`, replacing any existing entry for the frame.
+  void set_frame_bus(std::uint32_t frame_id, const std::string& bus);
+  /// Drop the placement override for `frame_id` (frame returns home).
+  void clear_frame_bus(std::uint32_t frame_id);
+  /// Reassign `frame_id`'s wire identifier. `new_id == frame_id` removes
+  /// the entry (identity overrides are never stored).
+  void set_frame_id(std::uint32_t frame_id, std::uint32_t new_id);
+  /// Pin `frame_id` to static slot `slot`, replacing any existing entry.
+  void set_fr_slot(std::uint32_t frame_id, std::uint64_t slot);
+  /// Drop all static-slot assignments (default slot order).
+  void clear_fr_slots();
+  /// Replace the partition window plan wholesale (order = window order).
+  void set_partition_windows(std::vector<PartitionWindowSpec> windows);
+
+  friend bool operator==(const ArchSpec&, const ArchSpec&) = default;
+};
+
+/// Fig. 1 bus scenario names in bus-index order — the only values
+/// `FrameBusSpec::bus` accepts.
+inline constexpr const char* kArchBusNames[] = {
+    "body_lin", "comfort_can", "infotainment_most", "safety_can",
+    "chassis_flexray"};
+inline constexpr std::size_t kArchBusCount = 5;
+
 /// Which pluggable subsystems the composition root attaches.
 struct SubsystemsSpec {
   bool obs = true;        ///< Metrics registry + kernel/bus/middleware observers.
@@ -121,6 +207,7 @@ struct ScenarioSpec {
   NetworkSpec network;
   TimingSpec timing;
   SubsystemsSpec subsystems;
+  ArchSpec arch;                       ///< Architecture overrides (may be empty).
   std::uint64_t fault_seed = 1;        ///< Seed of the FaultPlan RNG.
   std::vector<FaultEventSpec> faults;  ///< Planned injections (may be empty).
 

@@ -61,7 +61,83 @@ bool parse_bool(const std::string& s, const std::string& key) {
   return detail::parse_bool(s, key, "scenario");
 }
 
+// --- arch helpers -----------------------------------------------------------
+
+// Frame identifiers appear in scenario text exactly as the analyzer prints
+// them: `0x` plus at least three lowercase hex digits.
+std::string format_frame_id(std::uint32_t id) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%03x", id);
+  return buf;
+}
+
+std::uint32_t parse_frame_id(const std::string& s, const std::string& key) {
+  if (s.rfind("0x", 0) != 0)
+    fail("scenario: '" + key + "' expects a 0x-prefixed frame id, got '" + s + "'");
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str() + 2, &end, 16);
+  if (end == s.c_str() + 2 || *end != '\0' || v > 0x1FFFFFFFUL)
+    fail("scenario: '" + key + "' expects a 0x-prefixed frame id, got '" + s + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+bool known_bus_name(const std::string& bus) {
+  for (std::size_t i = 0; i < kArchBusCount; ++i)
+    if (bus == kArchBusNames[i]) return true;
+  return false;
+}
+
+// Inserts or replaces the entry for `frame_id` while keeping the list
+// sorted by frame id — the canonical form ArchSpec::validate() demands.
+template <typename Entry>
+Entry& upsert_by_frame_id(std::vector<Entry>& entries, std::uint32_t frame_id) {
+  std::size_t pos = 0;
+  while (pos < entries.size() && entries[pos].frame_id < frame_id) ++pos;
+  if (pos == entries.size() || entries[pos].frame_id != frame_id) {
+    Entry e;
+    e.frame_id = frame_id;
+    entries.insert(entries.begin() + static_cast<std::ptrdiff_t>(pos), e);
+  }
+  return entries[pos];
+}
+
+template <typename Entry>
+void erase_by_frame_id(std::vector<Entry>& entries, std::uint32_t frame_id) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].frame_id == frame_id) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
 }  // namespace
+
+void ArchSpec::set_frame_bus(std::uint32_t frame_id, const std::string& bus) {
+  upsert_by_frame_id(frame_buses, frame_id).bus = bus;
+}
+
+void ArchSpec::clear_frame_bus(std::uint32_t frame_id) {
+  erase_by_frame_id(frame_buses, frame_id);
+}
+
+void ArchSpec::set_frame_id(std::uint32_t frame_id, std::uint32_t new_id) {
+  if (new_id == frame_id) {
+    erase_by_frame_id(frame_ids, frame_id);
+    return;
+  }
+  upsert_by_frame_id(frame_ids, frame_id).new_id = new_id;
+}
+
+void ArchSpec::set_fr_slot(std::uint32_t frame_id, std::uint64_t slot) {
+  upsert_by_frame_id(fr_slots, frame_id).slot = slot;
+}
+
+void ArchSpec::clear_fr_slots() { fr_slots.clear(); }
+
+void ArchSpec::set_partition_windows(std::vector<PartitionWindowSpec> windows) {
+  partitions = std::move(windows);
+}
 
 std::string format_double(double value) {
   char buf[40];
@@ -129,6 +205,49 @@ void ScenarioSpec::validate() const {
     fail("scenario: timing.bms_publish_period_s must be positive");
   if (timing.middleware_frame_us <= 0)
     fail("scenario: timing.middleware_frame_us must be positive");
+  for (std::size_t i = 0; i < arch.frame_buses.size(); ++i) {
+    const FrameBusSpec& e = arch.frame_buses[i];
+    if (!known_bus_name(e.bus))
+      fail("scenario: arch.frame_bus." + std::to_string(i) + " names unknown bus '" +
+           e.bus + "'");
+    if (i > 0 && arch.frame_buses[i - 1].frame_id >= e.frame_id)
+      fail("scenario: arch.frame_bus entries must be in strictly increasing "
+           "frame-id order");
+  }
+  for (std::size_t i = 0; i < arch.frame_ids.size(); ++i) {
+    const FrameIdSpec& e = arch.frame_ids[i];
+    if (e.new_id == e.frame_id)
+      fail("scenario: arch.frame_id." + std::to_string(i) +
+           " is an identity mapping; remove it");
+    if (i > 0 && arch.frame_ids[i - 1].frame_id >= e.frame_id)
+      fail("scenario: arch.frame_id entries must be in strictly increasing "
+           "frame-id order");
+    for (std::size_t j = 0; j < i; ++j)
+      if (arch.frame_ids[j].new_id == e.new_id)
+        fail("scenario: arch.frame_id entries assign duplicate id " +
+             std::to_string(e.new_id));
+  }
+  for (std::size_t i = 0; i < arch.fr_slots.size(); ++i) {
+    const FrSlotSpec& e = arch.fr_slots[i];
+    if (i > 0 && arch.fr_slots[i - 1].frame_id >= e.frame_id)
+      fail("scenario: arch.fr_slot entries must be in strictly increasing "
+           "frame-id order");
+    for (std::size_t j = 0; j < i; ++j)
+      if (arch.fr_slots[j].slot == e.slot)
+        fail("scenario: arch.fr_slot entries assign duplicate slot " +
+             std::to_string(e.slot));
+  }
+  for (std::size_t i = 0; i < arch.partitions.size(); ++i) {
+    const PartitionWindowSpec& e = arch.partitions[i];
+    const std::string at = "arch.partition." + std::to_string(i);
+    if (e.partition.empty()) fail("scenario: " + at + " needs a partition name");
+    if (e.partition.find_first_of(" \t") != std::string::npos)
+      fail("scenario: " + at + " name must not contain whitespace");
+    if (e.budget_us < 1) fail("scenario: " + at + " needs a budget >= 1 us");
+    for (std::size_t j = 0; j < i; ++j)
+      if (arch.partitions[j].partition == e.partition)
+        fail("scenario: arch.partition lists '" + e.partition + "' twice");
+  }
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultEventSpec& f = faults[i];
     const std::string at = "fault." + std::to_string(i);
@@ -175,6 +294,22 @@ std::string ScenarioSpec::to_text() const {
   out << "subsystems.faults = " << (subsystems.faults ? "true" : "false") << "\n";
   out << "subsystems.health = " << (subsystems.health ? "true" : "false") << "\n";
   out << "subsystems.security = " << (subsystems.security ? "true" : "false") << "\n";
+  for (std::size_t i = 0; i < arch.frame_buses.size(); ++i) {
+    out << "arch.frame_bus." << i << " = " << format_frame_id(arch.frame_buses[i].frame_id)
+        << " " << arch.frame_buses[i].bus << "\n";
+  }
+  for (std::size_t i = 0; i < arch.frame_ids.size(); ++i) {
+    out << "arch.frame_id." << i << " = " << format_frame_id(arch.frame_ids[i].frame_id)
+        << " " << format_frame_id(arch.frame_ids[i].new_id) << "\n";
+  }
+  for (std::size_t i = 0; i < arch.fr_slots.size(); ++i) {
+    out << "arch.fr_slot." << i << " = " << format_frame_id(arch.fr_slots[i].frame_id)
+        << " " << arch.fr_slots[i].slot << "\n";
+  }
+  for (std::size_t i = 0; i < arch.partitions.size(); ++i) {
+    out << "arch.partition." << i << " = " << arch.partitions[i].partition << " "
+        << arch.partitions[i].budget_us << "\n";
+  }
   out << "faults.seed = " << fault_seed << "\n";
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultEventSpec& f = faults[i];
@@ -256,6 +391,54 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
       spec.subsystems.security = parse_bool(value, key);
     } else if (key == "faults.seed") {
       spec.fault_seed = parse_u64(value, key);
+    } else if (key.rfind("arch.frame_bus.", 0) == 0) {
+      const std::uint64_t index = parse_u64(key.substr(15), key);
+      if (index != spec.arch.frame_buses.size())
+        fail("scenario: arch.frame_bus entries must be numbered consecutively "
+             "from 0; got '" + key + "'");
+      const std::vector<std::string> fields = split_ws(value);
+      if (fields.size() != 2)
+        fail("scenario: '" + key + "' expects '<frame_id> <bus>'");
+      FrameBusSpec e;
+      e.frame_id = parse_frame_id(fields[0], key);
+      e.bus = fields[1];
+      spec.arch.frame_buses.push_back(std::move(e));
+    } else if (key.rfind("arch.frame_id.", 0) == 0) {
+      const std::uint64_t index = parse_u64(key.substr(14), key);
+      if (index != spec.arch.frame_ids.size())
+        fail("scenario: arch.frame_id entries must be numbered consecutively "
+             "from 0; got '" + key + "'");
+      const std::vector<std::string> fields = split_ws(value);
+      if (fields.size() != 2)
+        fail("scenario: '" + key + "' expects '<frame_id> <new_id>'");
+      FrameIdSpec e;
+      e.frame_id = parse_frame_id(fields[0], key);
+      e.new_id = parse_frame_id(fields[1], key);
+      spec.arch.frame_ids.push_back(e);
+    } else if (key.rfind("arch.fr_slot.", 0) == 0) {
+      const std::uint64_t index = parse_u64(key.substr(13), key);
+      if (index != spec.arch.fr_slots.size())
+        fail("scenario: arch.fr_slot entries must be numbered consecutively "
+             "from 0; got '" + key + "'");
+      const std::vector<std::string> fields = split_ws(value);
+      if (fields.size() != 2)
+        fail("scenario: '" + key + "' expects '<frame_id> <slot>'");
+      FrSlotSpec e;
+      e.frame_id = parse_frame_id(fields[0], key);
+      e.slot = parse_u64(fields[1], key);
+      spec.arch.fr_slots.push_back(e);
+    } else if (key.rfind("arch.partition.", 0) == 0) {
+      const std::uint64_t index = parse_u64(key.substr(15), key);
+      if (index != spec.arch.partitions.size())
+        fail("scenario: arch.partition entries must be numbered consecutively "
+             "from 0; got '" + key + "'");
+      const std::vector<std::string> fields = split_ws(value);
+      if (fields.size() != 2)
+        fail("scenario: '" + key + "' expects '<partition> <budget_us>'");
+      PartitionWindowSpec e;
+      e.partition = fields[0];
+      e.budget_us = parse_i64(fields[1], key);
+      spec.arch.partitions.push_back(std::move(e));
     } else if (key.rfind("fault.", 0) == 0) {
       const std::uint64_t index = parse_u64(key.substr(6), key);
       if (index != next_fault)

@@ -22,6 +22,13 @@
 
 namespace ev::core {
 
+/// One cockpit partition-window override: list order is the major-frame
+/// window order, `budget_us` the window length (see config::ArchSpec).
+struct PartitionWindowOverride {
+  std::string partition;
+  std::int64_t budget_us = 0;
+};
+
 /// Co-simulation configuration.
 struct VehicleSystemConfig {
   powertrain::PowertrainConfig powertrain;
@@ -29,6 +36,10 @@ struct VehicleSystemConfig {
   double control_period_s = 0.1;    ///< Powertrain stepping period.
   double bms_publish_period_s = 0.1;  ///< Pack status publication period.
   std::int64_t middleware_frame_us = 20000;  ///< Cockpit ECU major frame.
+  /// When non-empty, replaces the default cockpit partition schedule; must
+  /// name every default partition exactly once (cockpit_app_model throws
+  /// std::invalid_argument otherwise).
+  std::vector<PartitionWindowOverride> partition_windows;
 };
 
 /// Result of a co-simulated drive.

@@ -1,9 +1,45 @@
 #include "ev/core/app_model.h"
 
+#include <stdexcept>
+
 #include "ev/core/cosim.h"
 #include "ev/middleware/health.h"
 
 namespace ev::core {
+
+namespace {
+
+// Reorders and re-budgets the default partitions per the override plan.
+// The plan must be a complete one-to-one renaming-free mapping: every
+// default partition named exactly once, nothing unknown.
+std::vector<PartitionModel> apply_partition_windows(
+    std::vector<PartitionModel> partitions,
+    const std::vector<PartitionWindowOverride>& windows) {
+  std::vector<PartitionModel> out;
+  std::vector<char> used(partitions.size(), 0);
+  for (const PartitionWindowOverride& w : windows) {
+    std::size_t at = partitions.size();
+    for (std::size_t i = 0; i < partitions.size(); ++i)
+      if (partitions[i].name == w.partition) at = i;
+    if (at == partitions.size())
+      throw std::invalid_argument("cockpit app: partition window names unknown partition '" +
+                                  w.partition + "'");
+    if (used[at] != 0)
+      throw std::invalid_argument("cockpit app: partition window lists '" + w.partition +
+                                  "' twice");
+    used[at] = 1;
+    PartitionModel p = std::move(partitions[at]);
+    p.budget_us = w.budget_us;
+    out.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < partitions.size(); ++i)
+    if (used[i] == 0)
+      throw std::invalid_argument("cockpit app: partition window plan omits '" +
+                                  partitions[i].name + "'");
+  return out;
+}
+
+}  // namespace
 
 CockpitAppModel cockpit_app_model(const VehicleSystemConfig& config,
                                   bool health_enabled) {
@@ -24,6 +60,10 @@ CockpitAppModel cockpit_app_model(const VehicleSystemConfig& config,
 
   app.partitions.push_back(std::move(information));
   app.partitions.push_back(std::move(hmi));
+
+  if (!config.partition_windows.empty())
+    app.partitions =
+        apply_partition_windows(std::move(app.partitions), config.partition_windows);
 
   if (health_enabled) {
     const middleware::HealthConfig health{};

@@ -40,6 +40,19 @@ VehicleSystemConfig to_vehicle_config(const config::ScenarioSpec& spec) {
   cfg.network.can_bit_rate = spec.network.can_bit_rate;
   cfg.network.lin_bit_rate = spec.network.lin_bit_rate;
   cfg.network.flexray_bit_rate = spec.network.flexray_bit_rate;
+  for (const config::FrameBusSpec& e : spec.arch.frame_buses) {
+    std::size_t bus_index = 0;
+    while (bus_index < config::kArchBusCount &&
+           e.bus != config::kArchBusNames[bus_index])
+      ++bus_index;
+    cfg.network.arch.frame_buses.push_back({e.frame_id, bus_index});
+  }
+  for (const config::FrameIdSpec& e : spec.arch.frame_ids)
+    cfg.network.arch.frame_ids.push_back({e.frame_id, e.new_id});
+  for (const config::FrSlotSpec& e : spec.arch.fr_slots)
+    cfg.network.arch.fr_slots.push_back({e.frame_id, static_cast<std::size_t>(e.slot)});
+  for (const config::PartitionWindowSpec& e : spec.arch.partitions)
+    cfg.partition_windows.push_back({e.partition, e.budget_us});
   cfg.control_period_s = spec.timing.control_period_s;
   cfg.bms_publish_period_s = spec.timing.bms_publish_period_s;
   cfg.middleware_frame_us = spec.timing.middleware_frame_us;

@@ -32,12 +32,13 @@ inline constexpr std::uint32_t kFrameIdCrashOnChassis = 0x150;
 /// One periodic traffic source.
 struct PeriodicSource {
   Bus* bus = nullptr;
-  std::uint32_t frame_id = 0;
+  std::uint32_t frame_id = 0;  ///< Wire identifier (after any arch remap).
   NodeId source = 0;
   std::size_t payload_bytes = 8;
   double period_s = 0.01;
   double offset_s = 0.0;
   std::string description;
+  std::uint32_t base_id = 0;   ///< Original Fig. 1 identifier (arch key).
 };
 
 /// A monitored cross-domain flow (traverses the central gateway).
@@ -45,6 +46,32 @@ struct CrossDomainFlow {
   std::string name;
   Bus* destination_bus = nullptr;
   std::uint32_t destination_id = 0;
+};
+
+/// Architecture overrides applied on top of the default Fig. 1 deployment
+/// (the network-level mirror of config::ArchSpec). Every entry is keyed by
+/// the *original* frame identifier; the builder validates feasibility and
+/// throws std::invalid_argument on anchored or unknown frames.
+struct ArchOverrides {
+  struct FrameBus {
+    std::uint32_t frame_id = 0;
+    std::size_t bus_index = 0;  ///< Index into Figure1Network::buses() order.
+  };
+  struct FrameId {
+    std::uint32_t frame_id = 0;
+    std::uint32_t new_id = 0;
+  };
+  struct FrSlot {
+    std::uint32_t frame_id = 0;
+    std::size_t slot = 0;  ///< 0-based chassis static-slot index.
+  };
+  std::vector<FrameBus> frame_buses;  ///< Move sources across buses.
+  std::vector<FrameId> frame_ids;     ///< Renumber frames on CAN buses.
+  std::vector<FrSlot> fr_slots;       ///< Permute chassis static slots.
+
+  [[nodiscard]] bool empty() const {
+    return frame_buses.empty() && frame_ids.empty() && fr_slots.empty();
+  }
 };
 
 /// Scaling knobs for the generated load.
@@ -56,6 +83,7 @@ struct Figure1Config {
   /// When false, the synthetic BMS status source is omitted so a
   /// co-simulation can publish real battery data under the same frame id.
   bool synthetic_bms_source = true;
+  ArchOverrides arch;        ///< Deployment overrides (may be empty).
 };
 
 /// The instantiated Fig. 1 network. Owns the buses, the gateway, the traffic
@@ -92,6 +120,7 @@ class Figure1Network {
 
  private:
   void add_source(PeriodicSource src);
+  void apply_arch_overrides();
   void monitor_flow(const CrossDomainFlow& flow);
 
   sim::Simulator* sim_;

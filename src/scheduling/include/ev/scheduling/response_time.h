@@ -28,6 +28,8 @@ struct FpResponse {
   std::string name;
   std::int64_t response_us = 0;  ///< Worst-case response time.
   bool schedulable = false;      ///< response <= period.
+
+  friend bool operator==(const FpResponse&, const FpResponse&) = default;
 };
 
 /// Exact worst-case response times (Joseph & Pandya fixed point with

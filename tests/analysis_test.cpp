@@ -4,10 +4,16 @@
 // on, and the determinism of the JSON report.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ev/analysis/analyzer.h"
 #include "ev/analysis/diagnostics.h"
+#include "ev/analysis/fitness.h"
 #include "ev/analysis/model.h"
 #include "ev/config/scenario.h"
 
@@ -254,6 +260,120 @@ TEST(Diagnostics, JsonEscapesAndFindsBySubject) {
   EXPECT_NE(json.find("tab\\there"), std::string::npos);
   EXPECT_EQ(report.find("rta.bus", "nope"), nullptr);
   ASSERT_NE(report.find("rta.bus", "bus\n1"), nullptr);
+}
+
+// ------------------------------------------------- incremental fitness ------
+
+// Frame index of a source frame by its Fig. 1 base id.
+std::size_t frame_by_base(const VehicleModel& model, std::uint32_t base_id) {
+  for (std::size_t f = 0; f < model.frames.size(); ++f)
+    if (!model.frames[f].routed && model.frames[f].base_id == base_id) return f;
+  ADD_FAILURE() << "no source frame with base id " << base_id;
+  return 0;
+}
+
+TEST(FitnessEvaluator, OneFullEvaluationIsTheAnalyzer) {
+  const VehicleModel model = extract_model(clean_spec());
+  FitnessEvaluator evaluator(model);
+  EXPECT_EQ(report_json(evaluator.report()), report_json(analyze(model)));
+}
+
+TEST(FitnessEvaluator, RepeatedEvaluationIsByteIdentical) {
+  FitnessEvaluator evaluator(extract_model(clean_spec()));
+  const std::string first = report_json(evaluator.report());
+  // Again on the settled evaluator (all memoized), and on a fresh twin.
+  EXPECT_EQ(report_json(evaluator.report()), first);
+  FitnessEvaluator twin(extract_model(clean_spec()));
+  EXPECT_EQ(report_json(twin.report()), first);
+}
+
+TEST(FitnessEvaluator, IncrementalMatchesFullAfterEveryMoveKind) {
+  FitnessEvaluator evaluator(extract_model(clean_spec()));
+  evaluator.evaluate();
+  const auto expect_matches_full = [&](const char* what) {
+    EXPECT_EQ(report_json(evaluator.report()), report_json(analyze(evaluator.model())))
+        << what;
+  };
+
+  evaluator.move_frame(frame_by_base(evaluator.model(), 0x010), 1);
+  expect_matches_full("move body frame 0x010 to comfort CAN");
+
+  evaluator.renumber_frame(frame_by_base(evaluator.model(), 0x302), 0x320);
+  expect_matches_full("renumber comfort frame 0x302 to 0x320");
+
+  evaluator.set_can_bit_rate(800e3);
+  expect_matches_full("raise the CAN bit rate");
+
+  std::map<std::uint32_t, std::size_t> slots;
+  for (const auto& [id, slot] : evaluator.model().buses[4].fr_static_slot)
+    slots[id] = slot;
+  std::swap(slots.at(0x100), slots.at(0x105));
+  evaluator.set_fr_slots(slots);
+  expect_matches_full("swap two chassis static slots");
+
+  std::vector<std::pair<std::string, std::int64_t>> windows;
+  for (const auto& partition : evaluator.model().app.partitions)
+    windows.emplace_back(partition.name, partition.budget_us);
+  std::reverse(windows.begin(), windows.end());
+  evaluator.set_partition_windows(windows);
+  expect_matches_full("reverse the partition window order");
+}
+
+TEST(FitnessEvaluator, EvaluationOrderDoesNotChangeTheReport) {
+  // Same two moves, settled in one evaluation vs. one evaluation each.
+  const VehicleModel model = extract_model(clean_spec());
+  FitnessEvaluator batched(model);
+  batched.move_frame(frame_by_base(model, 0x010), 1);
+  batched.move_frame(frame_by_base(model, 0x011), 3);
+  const std::string batched_json = report_json(batched.report());
+
+  FitnessEvaluator stepped(model);
+  stepped.move_frame(frame_by_base(model, 0x010), 1);
+  stepped.evaluate();
+  stepped.move_frame(frame_by_base(model, 0x011), 3);
+  EXPECT_EQ(report_json(stepped.report()), batched_json);
+}
+
+TEST(FitnessEvaluator, MoveReanalyzesOnlyTheDirtyClosure) {
+  FitnessEvaluator evaluator(extract_model(clean_spec()));
+  evaluator.evaluate();
+  const std::uint64_t settled = evaluator.bus_pass_evals();
+  // Comfort -> safety move dirties the CAN buses plus their gateway-routed
+  // downstream closure, but never the body LIN bus: fewer single-bus passes
+  // than the 5-bus full recompute (3 passes per dirty bus).
+  evaluator.move_frame(frame_by_base(evaluator.model(), 0x302), 3);
+  evaluator.evaluate();
+  const std::uint64_t delta = evaluator.bus_pass_evals() - settled;
+  EXPECT_GT(delta, 0u);
+  EXPECT_LT(delta, 15u);
+}
+
+TEST(FitnessEvaluator, CrossCheckModeAcceptsAMoveSequence) {
+  FitnessEvaluator evaluator(extract_model(clean_spec()));
+  evaluator.set_cross_check(true);  // throws std::logic_error on divergence
+  evaluator.evaluate();
+  evaluator.move_frame(frame_by_base(evaluator.model(), 0x012), 1);
+  evaluator.evaluate();
+  evaluator.renumber_frame(frame_by_base(evaluator.model(), 0x300), 0x330);
+  evaluator.evaluate();
+  evaluator.set_can_bit_rate(1e6);
+  EXPECT_NO_THROW(evaluator.evaluate());
+}
+
+TEST(FitnessEvaluator, FitnessTracksFeasibilityAndSlack) {
+  ev::config::ScenarioSpec spec = clean_spec();
+  FitnessEvaluator clean(extract_model(spec));
+  const Fitness good = clean.evaluate();
+  EXPECT_TRUE(good.feasible());
+  EXPECT_GT(good.worst_slack_us, 0.0);
+  EXPECT_GT(good.peak_busload, 0.0);
+  EXPECT_GT(good.deployment, 0u);
+
+  spec.network.load_scale = 20.0;
+  FitnessEvaluator saturated(extract_model(spec));
+  const Fitness bad = saturated.evaluate();
+  EXPECT_FALSE(bad.feasible());
+  EXPECT_GT(bad.errors, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+# Error-path contract of the evsys CLI, run under ctest (see
+# tests/CMakeLists.txt):
+#   unknown verb           -> exit 2, stderr enumerates every valid verb
+#   unknown template kind  -> exit 2, stderr enumerates the template kinds
+#   explicit 'template scenario' and bare 'template' -> identical output
+# Expects -DEVSYS=<path to the evsys binary>.
+if(NOT DEFINED EVSYS)
+  message(FATAL_ERROR "pass -DEVSYS=<binary>")
+endif()
+
+execute_process(
+  COMMAND "${EVSYS}" frobnicate
+  RESULT_VARIABLE code
+  ERROR_VARIABLE err
+  OUTPUT_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "unknown verb: expected exit 2, got ${code}")
+endif()
+if(NOT err MATCHES "unknown command 'frobnicate'")
+  message(FATAL_ERROR "unknown verb: stderr does not name the bad verb:\n${err}")
+endif()
+foreach(verb IN ITEMS campaign check fleet print run synthesize template)
+  if(NOT err MATCHES "${verb}")
+    message(FATAL_ERROR "unknown verb: stderr does not list '${verb}':\n${err}")
+  endif()
+endforeach()
+message(STATUS "unknown verb enumerates all valid verbs")
+
+execute_process(
+  COMMAND "${EVSYS}" template starship
+  RESULT_VARIABLE code
+  ERROR_VARIABLE err
+  OUTPUT_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "unknown template kind: expected exit 2, got ${code}")
+endif()
+if(NOT err MATCHES "unknown template kind 'starship'")
+  message(FATAL_ERROR "unknown template kind: bad stderr:\n${err}")
+endif()
+foreach(kind IN ITEMS scenario fleet)
+  if(NOT err MATCHES "${kind}")
+    message(FATAL_ERROR "unknown template kind: stderr does not list '${kind}':\n${err}")
+  endif()
+endforeach()
+message(STATUS "unknown template kind enumerates scenario and fleet")
+
+execute_process(
+  COMMAND "${EVSYS}" template
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE bare)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bare 'template' failed with ${code}")
+endif()
+execute_process(
+  COMMAND "${EVSYS}" template scenario
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE explicit)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "'template scenario' failed with ${code}")
+endif()
+if(NOT bare STREQUAL explicit)
+  message(FATAL_ERROR "'template' and 'template scenario' outputs differ")
+endif()
+message(STATUS "'template scenario' matches bare 'template'")
+
+execute_process(
+  COMMAND "${EVSYS}"
+  RESULT_VARIABLE code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "no arguments: expected exit 2, got ${code}")
+endif()
+message(STATUS "bare invocation exits 2 with usage")

@@ -1,0 +1,55 @@
+# Synthesis determinism contract, run under ctest (see tests/CMakeLists.txt):
+#   same scenario + same --seed        -> byte-identical scenario and report
+#   --jobs 1 vs --jobs 8               -> byte-identical scenario and report
+#   the synthesized scenario           -> `evsys check` exits 0
+# Expects -DEVSYS=<path to the evsys binary> and -DSOURCE_DIR=<repo root>.
+if(NOT DEFINED EVSYS OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DEVSYS=<binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+set(scenario "${SOURCE_DIR}/tests/data/overloaded.scn")
+set(work "${CMAKE_CURRENT_BINARY_DIR}/synthesis_determinism")
+file(MAKE_DIRECTORY "${work}")
+
+function(run_synthesize tag jobs)
+  execute_process(
+    COMMAND "${EVSYS}" synthesize "${scenario}" --seed 7 --iters 40
+            --jobs "${jobs}"
+            --out "${work}/${tag}.scn" --report "${work}/${tag}.json"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys synthesize (${tag}) failed with ${code}")
+  endif()
+endfunction()
+
+run_synthesize(serial_a 1)
+run_synthesize(serial_b 1)
+run_synthesize(wide 8)
+
+foreach(ext IN ITEMS scn json)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                  "${work}/serial_a.${ext}" "${work}/serial_b.${ext}"
+                  RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "same-seed reruns differ in the .${ext} artifact")
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                  "${work}/serial_a.${ext}" "${work}/wide.${ext}"
+                  RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "--jobs 1 vs --jobs 8 differ in the .${ext} artifact")
+  endif()
+endforeach()
+message(STATUS "deterministic: same seed and any --jobs byte-identical")
+
+# The synthesized design must pass static analysis cleanly — that is the
+# whole point of the synthesizer.
+execute_process(
+  COMMAND "${EVSYS}" check "${work}/serial_a.scn"
+  RESULT_VARIABLE code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "evsys check rejected the synthesized scenario (${code})")
+endif()
+message(STATUS "synthesized scenario checks clean (exit 0)")

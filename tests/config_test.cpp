@@ -102,6 +102,107 @@ TEST(ScenarioFile, MissingFileThrows) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------ arch mutations ----
+
+// The synthesizer edits scenarios exclusively through the ArchSpec mutators;
+// every mutated spec must survive the text round trip losslessly.
+TEST(ScenarioArch, MutatedSpecRoundTripsThroughText) {
+  ScenarioSpec spec = fully_loaded_spec();
+  spec.arch.set_frame_bus(0x010, "comfort_can");
+  spec.arch.set_frame_bus(0x203, "comfort_can");
+  spec.arch.set_frame_id(0x300, 0x303);
+  spec.arch.set_frame_id(0x303, 0x300);
+  spec.arch.set_fr_slot(0x100, 7);
+  spec.arch.set_fr_slot(0x107, 0);
+  spec.arch.set_partition_windows({{"hmi", 8000}, {"information", 4000}});
+  spec.validate();
+
+  const ScenarioSpec parsed = ScenarioSpec::from_text(spec.to_text());
+  EXPECT_EQ(parsed, spec);
+  EXPECT_EQ(parsed.to_text(), spec.to_text());
+}
+
+TEST(ScenarioArch, MutatorsReplaceAndRemoveEntries) {
+  ScenarioSpec spec;
+  spec.arch.set_frame_bus(0x010, "comfort_can");
+  spec.arch.set_frame_bus(0x010, "safety_can");  // replaces, no duplicate
+  ASSERT_EQ(spec.arch.frame_buses.size(), 1u);
+  EXPECT_EQ(spec.arch.frame_buses[0].bus, "safety_can");
+  spec.arch.clear_frame_bus(0x010);
+  EXPECT_TRUE(spec.arch.frame_buses.empty());
+
+  spec.arch.set_frame_id(0x300, 0x310);
+  ASSERT_EQ(spec.arch.frame_ids.size(), 1u);
+  spec.arch.set_frame_id(0x300, 0x300);  // identity removes the entry
+  EXPECT_TRUE(spec.arch.frame_ids.empty());
+
+  spec.arch.set_fr_slot(0x100, 3);
+  spec.arch.set_fr_slot(0x100, 5);  // replaces
+  ASSERT_EQ(spec.arch.fr_slots.size(), 1u);
+  EXPECT_EQ(spec.arch.fr_slots[0].slot, 5u);
+  spec.arch.clear_fr_slots();
+  EXPECT_TRUE(spec.arch.fr_slots.empty());
+  EXPECT_TRUE(spec.arch.empty());
+}
+
+TEST(ScenarioArch, MutatorsKeepEntriesSortedForEmission) {
+  ScenarioSpec spec;
+  spec.arch.set_frame_bus(0x203, "comfort_can");
+  spec.arch.set_frame_bus(0x010, "safety_can");
+  ASSERT_EQ(spec.arch.frame_buses.size(), 2u);
+  EXPECT_LT(spec.arch.frame_buses[0].frame_id, spec.arch.frame_buses[1].frame_id);
+
+  spec.arch.set_frame_id(0x302, 0x011);
+  spec.arch.set_frame_id(0x011, 0x302);
+  ASSERT_EQ(spec.arch.frame_ids.size(), 2u);
+  EXPECT_LT(spec.arch.frame_ids[0].frame_id, spec.arch.frame_ids[1].frame_id);
+  spec.validate();  // the swap is a legal permutation
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+}
+
+TEST(ScenarioArch, ValidateRejectsIllFormedOverrides) {
+  ScenarioSpec unknown_bus;
+  unknown_bus.arch.set_frame_bus(0x010, "hyperloop");
+  EXPECT_THROW(unknown_bus.validate(), std::invalid_argument);
+
+  ScenarioSpec duplicate_new_id;
+  duplicate_new_id.arch.set_frame_id(0x300, 0x310);
+  duplicate_new_id.arch.set_frame_id(0x301, 0x310);  // two frames, one id
+  EXPECT_THROW(duplicate_new_id.validate(), std::invalid_argument);
+
+  ScenarioSpec duplicate_slot;
+  duplicate_slot.arch.set_fr_slot(0x100, 2);
+  duplicate_slot.arch.set_fr_slot(0x101, 2);  // two frames, one slot
+  EXPECT_THROW(duplicate_slot.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_partition;
+  bad_partition.arch.set_partition_windows({{"hmi", 0}});  // budget < 1
+  EXPECT_THROW(bad_partition.validate(), std::invalid_argument);
+
+  ScenarioSpec repeated_partition;
+  repeated_partition.arch.set_partition_windows({{"hmi", 100}, {"hmi", 200}});
+  EXPECT_THROW(repeated_partition.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioArch, ArchLinesParseBackFromText) {
+  const ScenarioSpec spec = ScenarioSpec::from_text(
+      "scenario.name = archy\n"
+      "arch.frame_bus.0 = 0x010 comfort_can\n"
+      "arch.frame_id.0 = 0x300 0x310\n"
+      "arch.fr_slot.0 = 0x100 4\n"
+      "arch.partition.0 = hmi 9000\n");
+  ASSERT_EQ(spec.arch.frame_buses.size(), 1u);
+  EXPECT_EQ(spec.arch.frame_buses[0].frame_id, 0x010u);
+  EXPECT_EQ(spec.arch.frame_buses[0].bus, "comfort_can");
+  ASSERT_EQ(spec.arch.frame_ids.size(), 1u);
+  EXPECT_EQ(spec.arch.frame_ids[0].new_id, 0x310u);
+  ASSERT_EQ(spec.arch.fr_slots.size(), 1u);
+  EXPECT_EQ(spec.arch.fr_slots[0].slot, 4u);
+  ASSERT_EQ(spec.arch.partitions.size(), 1u);
+  EXPECT_EQ(spec.arch.partitions[0].partition, "hmi");
+  EXPECT_EQ(spec.arch.partitions[0].budget_us, 9000);
+}
+
 // ----------------------------------------------------------------- parser ----
 
 TEST(ScenarioParser, RejectsUnknownKey) {

@@ -9,7 +9,9 @@
 //   $ evsys campaign city.scn --seeds 8 --jobs 4       # parallel seed ladder
 //   $ evsys fleet examples/scenarios/depot_fleet.fleet --jobs 8   # fleet run
 //   $ evsys check examples/scenarios/city_commute.scn   # static analysis
+//   $ evsys synthesize overloaded.scn --seed 1          # repair + optimize
 //   $ evsys print examples/scenarios/city_commute.scn   # canonical round-trip
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,8 +28,25 @@
 #include "ev/core/subsystems.h"
 #include "ev/fleet/simulation.h"
 #include "ev/obs/export.h"
+#include "ev/synthesis/synthesis.h"
 
 namespace {
+
+// Single source of truth for the error paths: every valid verb and template
+// kind, in the order the usage text lists them.
+constexpr const char* kVerbs[] = {"campaign", "check",      "fleet",   "print",
+                                  "run",      "synthesize", "template"};
+constexpr const char* kTemplateKinds[] = {"scenario", "fleet"};
+
+template <std::size_t N>
+std::string join_names(const char* const (&names)[N]) {
+  std::string out;
+  for (const char* name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -37,8 +56,11 @@ int usage(const char* argv0) {
                "       %s fleet <scenario.fleet> [--jobs <n>] [--out <file>]\n"
                "                [--metrics <base>]\n"
                "       %s check <scenario.scn> [--out <file>]\n"
+               "       %s synthesize <scenario.scn> [--seed <n>] [--iters <n>]\n"
+               "                [--jobs <n>] [--out <file>] [--report <file>]\n"
+               "                [--cross-check]\n"
                "       %s print <scenario.scn>\n"
-               "       %s template [fleet]\n"
+               "       %s template [scenario|fleet]\n"
                "\n"
                "  run       build the vehicle the scenario describes, drive its\n"
                "            cycle, and write the deterministic result JSON to\n"
@@ -67,11 +89,22 @@ int usage(const char* argv0) {
                "            JSON to stdout (or --out). --metrics <base> also\n"
                "            exports <base>.metrics.json/.metrics.csv. Output\n"
                "            is byte-identical for any --jobs value.\n"
+               "  synthesize\n"
+               "            invert check: search the architecture design space\n"
+               "            (frame placement, CAN priorities, FlexRay slots,\n"
+               "            partition windows, bit rate, load scale) for a\n"
+               "            repaired scenario that passes check cleanly, then\n"
+               "            anneal it for slack and busload. The synthesized\n"
+               "            scenario text goes to stdout (or --out <file>),\n"
+               "            the deterministic search report JSON to --report\n"
+               "            <file>, a summary to stderr. Same seed ⇒\n"
+               "            byte-identical output for any --jobs value. Exit\n"
+               "            code: 0 when the result is feasible, 1 otherwise.\n"
                "  print     parse + validate a scenario and print its canonical\n"
                "            text form (a lossless round-trip).\n"
                "  template  print a default scenario to start from\n"
                "            ('template fleet' prints a fleet scenario).\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -199,6 +232,45 @@ int cmd_fleet(const std::string& path, int jobs, const std::string& out_path,
   return out ? 0 : 1;
 }
 
+int cmd_synthesize(const std::string& path, const ev::synthesis::SynthesisOptions& options,
+                   const std::string& out_path, const std::string& report_path) {
+  const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
+  const ev::synthesis::SynthesisResult result = ev::synthesis::synthesize(spec, options);
+
+  std::fprintf(stderr,
+               "evsys synthesize: %s — %s at load_scale %s, "
+               "%llu move(s) evaluated, %llu accepted, %zu Pareto point(s)\n",
+               result.spec.name.c_str(), result.feasible ? "feasible" : "infeasible",
+               ev::config::format_double(result.load_scale).c_str(),
+               static_cast<unsigned long long>(result.moves_evaluated),
+               static_cast<unsigned long long>(result.moves_accepted),
+               result.pareto.size());
+
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::fprintf(stderr, "evsys: cannot write '%s'\n", report_path.c_str());
+      return 1;
+    }
+    ev::synthesis::write_synthesis_json(result, report);
+    if (!report) return 1;
+  }
+
+  const std::string text = result.spec.to_text();
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "evsys: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << text;
+    if (!out) return 1;
+  }
+  return result.feasible ? 0 : 1;
+}
+
 int cmd_print(const std::string& path) {
   const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
   std::fputs(spec.to_text().c_str(), stdout);
@@ -220,6 +292,11 @@ int main(int argc, char** argv) {
       if (argc >= 3 && std::strcmp(argv[2], "fleet") == 0) {
         std::fputs(ev::config::FleetSpec{}.to_text().c_str(), stdout);
         return 0;
+      }
+      if (argc >= 3 && std::strcmp(argv[2], "scenario") != 0) {
+        std::fprintf(stderr, "evsys: unknown template kind '%s' (valid: %s)\n",
+                     argv[2], join_names(kTemplateKinds).c_str());
+        return 2;
       }
       return cmd_template();
     }
@@ -296,6 +373,35 @@ int main(int argc, char** argv) {
       }
       return cmd_run(argv[2], out_path, metrics_base);
     }
+    if (command == "synthesize") {
+      if (argc < 3) return usage(argv[0]);
+      ev::synthesis::SynthesisOptions options;
+      std::string out_path, report_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          options.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+          options.iters = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          options.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+          report_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--cross-check") == 0) {
+          options.cross_check = true;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (options.iters < 0) {
+        std::fprintf(stderr, "evsys: --iters must be >= 0\n");
+        return 2;
+      }
+      return cmd_synthesize(argv[2], options, out_path, report_path);
+    }
+    std::fprintf(stderr, "evsys: unknown command '%s' (valid: %s)\n",
+                 command.c_str(), join_names(kVerbs).c_str());
     return usage(argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "evsys: %s\n", e.what());
