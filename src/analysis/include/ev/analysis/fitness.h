@@ -68,6 +68,44 @@ struct EcuOutcome {
   friend bool operator==(const EcuOutcome&, const EcuOutcome&) = default;
 };
 
+/// Per-bus stochastic error model of the probabilistic timing pass (E24),
+/// derived from the scenario's bus.error_rate / bus.error_prob fault specs
+/// (prob.h::derive_error_models). Both channels may be active at once; an
+/// all-zero model is "unarmed" and the pass emits nothing for the bus.
+struct BusErrorModel {
+  double poisson_rate_per_s = 0.0;  ///< Summed Poisson error rate [1/s].
+  double per_attempt_prob = 0.0;    ///< Composed per-attempt probability.
+
+  [[nodiscard]] bool armed() const noexcept {
+    return poisson_rate_per_s > 0.0 || per_attempt_prob > 0.0;
+  }
+  friend bool operator==(const BusErrorModel&, const BusErrorModel&) = default;
+};
+
+/// Probabilistic deadline-miss figures of one CAN frame: the Broster-style
+/// R(k) ladder collapsed to the largest tolerable error count and the
+/// resulting P(response > period) upper bound (see prob.h).
+struct FrameMissBound {
+  std::size_t frame = 0;     ///< Index into VehicleModel::frames.
+  int tolerable_errors = 0;  ///< Largest k with R(k) <= period; -1 when the
+                             ///< frame is unschedulable even error-free.
+  double response_at_kmax_s = 0.0;  ///< R(k_max) (R(0) when k_max < 0).
+  double miss_probability = 0.0;    ///< Upper bound on P(response > period).
+
+  friend bool operator==(const FrameMissBound&, const FrameMissBound&) = default;
+};
+
+/// Memoized probabilistic outcome of one bus. Only armed CAN buses carry
+/// frame entries; every other bus renders no prob.* diagnostics at all,
+/// which is what keeps the zero-error-rate report byte-identical to the
+/// deterministic pass.
+struct ProbOutcome {
+  BusErrorModel model;
+  std::vector<FrameMissBound> frames;
+
+  friend bool operator==(const ProbOutcome&, const ProbOutcome&) = default;
+};
+
 /// The scalarized design quality the synthesizer optimizes. feasible() is
 /// exactly `evsys check` exit code 0 (no errors, no warnings).
 struct Fitness {
@@ -127,6 +165,24 @@ class FitnessEvaluator {
   /// std::logic_error if any memoized outcome diverges from it.
   void set_cross_check(bool on) noexcept { cross_check_ = on; }
 
+  /// Arms the probabilistic pass: derives per-bus error models from the
+  /// model's fault events and from then on keeps a memoized ProbOutcome per
+  /// bus inside the same dirty-closure re-evaluation; report() appends the
+  /// prob.* rules. With no armed error model nothing is emitted and the
+  /// report stays byte-identical to the deterministic pass.
+  void set_probabilistic(bool on);
+  [[nodiscard]] bool probabilistic() const noexcept { return prob_enabled_; }
+  /// Memoized probabilistic outcome of one bus as of the last evaluate().
+  /// Only meaningful after set_probabilistic(true).
+  [[nodiscard]] const ProbOutcome& prob_outcome(std::size_t bus) const {
+    return prob_outcomes_[bus];
+  }
+  /// Per-bus error models the probabilistic pass evaluates against (empty
+  /// unless set_probabilistic(true)).
+  [[nodiscard]] const std::vector<BusErrorModel>& error_models() const noexcept {
+    return error_models_;
+  }
+
   /// Number of single-bus numeric passes executed so far (3 per dirty bus
   /// per evaluation) — the effort figure bench E23 compares against the
   /// full-recompute floor.
@@ -158,6 +214,8 @@ class FitnessEvaluator {
   std::vector<std::vector<std::size_t>> per_bus_;
   std::vector<FrameBound> bounds_;
   std::vector<BusOutcome> bus_outcomes_;
+  std::vector<ProbOutcome> prob_outcomes_;
+  std::vector<BusErrorModel> error_models_;
   EcuOutcome ecu_;
   std::vector<Diagnostic> wiring_;
   Fitness fitness_;
@@ -166,6 +224,7 @@ class FitnessEvaluator {
   bool wiring_dirty_ = true;
   bool any_dirty_ = true;
   bool cross_check_ = false;
+  bool prob_enabled_ = false;
   std::uint64_t bus_pass_evals_ = 0;
 };
 

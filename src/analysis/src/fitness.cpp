@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ev/analysis/prob.h"
 #include "passes.h"
 
 namespace ev::analysis {
@@ -116,6 +117,23 @@ void FitnessEvaluator::set_partition_windows(
   wiring_dirty_ = true;  // health.uncovered_partition iterates partitions
 }
 
+void FitnessEvaluator::set_probabilistic(bool on) {
+  if (on == prob_enabled_) return;
+  prob_enabled_ = on;
+  if (!on) {
+    prob_outcomes_.clear();
+    error_models_.clear();
+    return;
+  }
+  error_models_ = derive_error_models(model_);
+  prob_outcomes_.assign(model_.buses.size(), ProbOutcome{});
+  // Armed buses need a probabilistic outcome; the pass piggybacks on the
+  // dirty-closure recompute, so dirty them (their deterministic outcomes are
+  // recomputed too — idempotent, and only on this one transition).
+  for (std::size_t b = 0; b < model_.buses.size(); ++b)
+    if (error_models_[b].armed()) mark_bus_dirty(b);
+}
+
 const Fitness& FitnessEvaluator::evaluate() {
   if (any_dirty_ || ecu_dirty_ || wiring_dirty_) {
     recompute();
@@ -143,6 +161,13 @@ void FitnessEvaluator::recompute() {
         ++bus_pass_evals_;
         if (pass == 2) bus_outcomes_[b] = std::move(outcome);
       }
+    // The probabilistic pass reads the settled bounds, so it runs after the
+    // fixed point — and only for the dirty closure: clean buses kept their
+    // bounds, hence their memoized ProbOutcome is still exact.
+    if (prob_enabled_)
+      for (const std::size_t b : dirty)
+        prob_outcomes_[b] =
+            passes::compute_prob_bus(model_, b, per_bus_[b], bounds_, error_models_[b]);
     for (const std::size_t b : dirty) bus_dirty_[b] = 0;
   }
   any_dirty_ = false;
@@ -227,6 +252,9 @@ Report FitnessEvaluator::report() {
   for (std::size_t b = 0; b < model_.buses.size(); ++b)
     passes::render_bus(model_, b, bus_outcomes_[b], report);
   passes::render_frame_bounds(model_, per_bus_, bounds_, report);
+  if (prob_enabled_)
+    for (std::size_t b = 0; b < model_.buses.size(); ++b)
+      passes::render_prob(model_, b, prob_outcomes_[b], report);
   report.diagnostics.insert(report.diagnostics.end(), wiring_.begin(), wiring_.end());
   report.sort();
   return report;
@@ -234,6 +262,7 @@ Report FitnessEvaluator::report() {
 
 void FitnessEvaluator::check_against_fresh() {
   FitnessEvaluator fresh(model_);
+  fresh.set_probabilistic(prob_enabled_);
   fresh.recompute();
   fresh.aggregate();
   if (fresh.per_bus_ != per_bus_)
@@ -246,6 +275,10 @@ void FitnessEvaluator::check_against_fresh() {
     throw std::logic_error("fitness cross-check: ECU outcome diverged");
   if (fresh.wiring_ != wiring_)
     throw std::logic_error("fitness cross-check: wiring diagnostics diverged");
+  if (fresh.error_models_ != error_models_)
+    throw std::logic_error("fitness cross-check: bus error models diverged");
+  if (fresh.prob_outcomes_ != prob_outcomes_)
+    throw std::logic_error("fitness cross-check: probabilistic outcomes diverged");
   if (!(fresh.fitness_ == fitness_))
     throw std::logic_error("fitness cross-check: aggregated fitness diverged");
 }

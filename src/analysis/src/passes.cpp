@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 
+#include "ev/analysis/prob.h"
 #include "ev/config/scenario.h"
 #include "ev/network/can.h"
 #include "ev/network/flexray.h"
@@ -241,6 +243,97 @@ BusOutcome compute_most(const VehicleModel& model, std::size_t bus_idx,
 
 }  // namespace
 
+ProbOutcome compute_prob_bus(const VehicleModel& model, std::size_t bus_idx,
+                             const std::vector<std::size_t>& on_bus,
+                             const std::vector<FrameBound>& bounds,
+                             const BusErrorModel& error_model) {
+  ProbOutcome out;
+  out.model = error_model;
+  const BusModel& bus = model.buses[bus_idx];
+  if (!error_model.armed() || bus.protocol != Protocol::kCan) return out;
+
+  const double tau_bit = 1.0 / bus.bit_rate_bps;
+  // Same message set, order, and jitter as compute_can — the k = 0 rung of
+  // the ladder is the deterministic analysis, bit for bit.
+  std::vector<network::CanMessageSpec> specs;
+  std::vector<std::size_t> spec_frame;
+  std::map<std::uint32_t, std::size_t> by_id;  // wire id -> spec index
+  double max_tx_s = 0.0;
+  double min_tx_s = std::numeric_limits<double>::infinity();
+  for (const std::size_t f : on_bus) {
+    const FrameModel& frame = model.frames[f];
+    if (frame.payload_bytes > 8) continue;  // carries can.payload_size already
+    network::CanMessageSpec spec;
+    spec.id = frame.id;
+    spec.payload_bytes = frame.payload_bytes;
+    spec.period_s = frame.period_s;
+    spec.jitter_s = jitter_of(model, frame, bounds);
+    const double tx_s =
+        static_cast<double>(network::CanBus::frame_bits(frame.payload_bytes)) * tau_bit;
+    max_tx_s = std::max(max_tx_s, tx_s);
+    min_tx_s = std::min(min_tx_s, tx_s);
+    by_id.emplace(spec.id, specs.size());
+    spec_frame.push_back(f);
+    specs.push_back(spec);
+  }
+  if (specs.empty()) return out;
+
+  // Per-error recovery overhead: the 31-bit error flag plus the
+  // retransmission of the longest frame on the bus (Broster's O).
+  const double overhead_s =
+      static_cast<double>(network::CanBus::kErrorRecoveryBits) * tau_bit + max_tx_s;
+
+  // Walk the R(k) ladder upward; R(k) is monotone in k, so each frame's
+  // k_max is the last rung it survives. The cap bounds the walk for frames
+  // with huge slack — P(N > cap) still upper-bounds their miss probability.
+  constexpr int kMaxTolerable = 64;
+  std::vector<int> kmax(specs.size(), -1);
+  std::vector<double> r_kmax(specs.size(), 0.0);
+  std::vector<double> r_zero(specs.size(), 0.0);
+  for (int k = 0; k <= kMaxTolerable; ++k) {
+    bool any_alive = false;
+    for (const network::CanResponseTime& response :
+         network::can_response_times(specs, bus.bit_rate_bps, overhead_s, k)) {
+      const std::size_t s = by_id.find(response.id)->second;
+      if (k == 0) r_zero[s] = response.worst_case_s;
+      if (response.schedulable && kmax[s] == k - 1) {
+        kmax[s] = k;
+        r_kmax[s] = response.worst_case_s;
+        any_alive = true;
+      }
+    }
+    if (!any_alive) break;
+  }
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    FrameMissBound fmb;
+    fmb.frame = spec_frame[s];
+    fmb.tolerable_errors = kmax[s];
+    if (kmax[s] < 0) {
+      // Already unschedulable with zero errors: the deterministic pass
+      // reports rta.unschedulable, the miss probability is certain.
+      fmb.response_at_kmax_s = r_zero[s];
+      fmb.miss_probability = 1.0;
+    } else {
+      fmb.response_at_kmax_s = r_kmax[s];
+      // Errors able to disturb one instance fall inside its level-i window:
+      // release jitter + deadline, padded by one recovery to cover a
+      // blocking frame already on the wire. Over-covering keeps the bound.
+      const double window_s = specs[s].jitter_s + specs[s].period_s + overhead_s;
+      const double mean = error_model.poisson_rate_per_s * window_s;
+      int attempts = 0;
+      if (error_model.per_attempt_prob > 0.0)
+        // Attempts are serialized on the bus and each occupies at least the
+        // shortest frame, so this many fit the window (plus a straddler).
+        attempts = static_cast<int>(window_s / min_tx_s) + 1;
+      fmb.miss_probability =
+          combined_tail_above(mean, attempts, error_model.per_attempt_prob, kmax[s]);
+    }
+    out.frames.push_back(fmb);
+  }
+  return out;
+}
+
 BusOutcome compute_bus(const VehicleModel& model, std::size_t bus,
                        const std::vector<std::size_t>& on_bus,
                        std::vector<FrameBound>& bounds) {
@@ -350,6 +443,22 @@ std::vector<Diagnostic> compute_wiring(const VehicleModel& model) {
                          "' outside the pack (" +
                          std::to_string(model.cell_count) + " cells)",
                      static_cast<double>(model.cell_count));
+        break;
+      }
+      case config::FaultKind::kBusErrorRate:
+      case config::FaultKind::kBusErrorProb: {
+        const auto bus_it = std::find_if(
+            model.buses.begin(), model.buses.end(),
+            [&event](const BusModel& bus) { return bus.scenario_name == event.target; });
+        if (bus_it == model.buses.end())
+          report.add(Severity::kError, "fault.unknown_target", subject,
+                     config::to_string(event.kind) + " targets unknown bus '" +
+                         event.target + "'");
+        else if (bus_it->protocol != Protocol::kCan)
+          report.add(Severity::kError, "prob.unsupported_target", subject,
+                     config::to_string(event.kind) + " targets " +
+                         to_string(bus_it->protocol) + " bus '" + event.target +
+                         "' — the stochastic error model covers CAN only");
         break;
       }
     }
@@ -540,6 +649,38 @@ void render_ecu(const VehicleModel& model, const EcuOutcome& outcome, Report& re
                  "publish-to-delivery bound " + std::to_string(flush_bound) +
                      " us (flush at the first window boundary)",
                  static_cast<double>(flush_bound));
+  }
+}
+
+void render_prob(const VehicleModel& model, std::size_t bus_idx,
+                 const ProbOutcome& outcome, Report& report) {
+  if (!outcome.model.armed()) return;
+  const BusModel& bus = model.buses[bus_idx];
+  if (bus.protocol != Protocol::kCan) return;
+  report.add(Severity::kInfo, "prob.bus_error", bus.scenario_name,
+             "stochastic error model: Poisson rate " +
+                 config::format_double(outcome.model.poisson_rate_per_s) +
+                 " errors/s, per-attempt probability " +
+                 config::format_double(outcome.model.per_attempt_prob),
+             outcome.model.poisson_rate_per_s);
+  for (const FrameMissBound& fmb : outcome.frames) {
+    const FrameModel& frame = model.frames[fmb.frame];
+    if (fmb.tolerable_errors < 0) {
+      report.add(Severity::kInfo, "prob.frame_miss", frame_subject(model, frame),
+                 frame.description +
+                     ": deadline-miss probability 1 (unschedulable even "
+                     "error-free)",
+                 1.0);
+      continue;
+    }
+    report.add(Severity::kInfo, "prob.frame_miss", frame_subject(model, frame),
+               frame.description + ": deadline-miss probability <= " +
+                   config::format_double(fmb.miss_probability) + " (tolerates " +
+                   std::to_string(fmb.tolerable_errors) +
+                   " error(s) in the busy window, R(k_max) " +
+                   config::format_double(fmb.response_at_kmax_s * kSecondsToUs) +
+                   " us)",
+               fmb.miss_probability);
   }
 }
 

@@ -24,6 +24,17 @@ namespace ev::analysis::passes {
                                      const std::vector<std::size_t>& on_bus,
                                      std::vector<FrameBound>& bounds);
 
+/// Probabilistic pass over one CAN bus (E24): walks the Broster R(k) ladder
+/// for every frame on the bus and turns the per-frame tolerable-error count
+/// into a deadline-miss probability under `error_model`. Reads the settled
+/// bounds for routed release jitter — call only after the fixed point of
+/// compute_bus passes. Unarmed models and non-CAN buses yield an outcome
+/// with no frame entries.
+[[nodiscard]] ProbOutcome compute_prob_bus(const VehicleModel& model, std::size_t bus,
+                                           const std::vector<std::size_t>& on_bus,
+                                           const std::vector<FrameBound>& bounds,
+                                           const BusErrorModel& error_model);
+
 /// Numeric ECU pass: budgets, window RTA, per-partition demand.
 [[nodiscard]] EcuOutcome compute_ecu(const VehicleModel& model);
 
@@ -45,5 +56,11 @@ void render_frame_bounds(const VehicleModel& model,
 /// Renders ecu.frame_overflow / rta.partition / partition.overcommitted /
 /// rta.runnable / rta.pubsub from the ECU outcome.
 void render_ecu(const VehicleModel& model, const EcuOutcome& outcome, Report& report);
+
+/// Renders prob.bus_error + per-frame prob.frame_miss of one probabilistic
+/// outcome. Emits nothing for unarmed models — the zero-error-rate report
+/// stays byte-identical to the deterministic pass.
+void render_prob(const VehicleModel& model, std::size_t bus, const ProbOutcome& outcome,
+                 Report& report);
 
 }  // namespace ev::analysis::passes

@@ -1,0 +1,87 @@
+#include "ev/analysis/prob.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ev::analysis {
+
+double poisson_pmf(double mean, int k) {
+  if (k < 0) return 0.0;
+  if (mean <= 0.0) return k == 0 ? 1.0 : 0.0;
+  // Iterative pmf(k) = pmf(k-1) * mean / k keeps the evaluation exact-ish
+  // without factorials; k stays small (<= the tolerable-error cap).
+  double pmf = std::exp(-mean);
+  for (int j = 0; j < k; ++j) pmf *= mean / static_cast<double>(j + 1);
+  return pmf;
+}
+
+double poisson_tail_above(double mean, int k) {
+  if (k < 0) return 1.0;
+  double cum = 0.0;
+  for (int j = 0; j <= k; ++j) cum += poisson_pmf(mean, j);
+  return std::clamp(1.0 - cum, 0.0, 1.0);
+}
+
+double binomial_pmf(int n, double p, int k) {
+  if (k < 0 || k > n || n < 0) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  // pmf(k) = pmf(k-1) * (n-k+1)/k * p/(1-p), seeded with (1-p)^n.
+  double pmf = std::pow(1.0 - p, n);
+  for (int j = 0; j < k; ++j)
+    pmf *= static_cast<double>(n - j) / static_cast<double>(j + 1) * p / (1.0 - p);
+  return pmf;
+}
+
+double combined_tail_above(double mean, int n, double p, int k) {
+  if (k < 0) return 1.0;
+  double cum = 0.0;
+  for (int total = 0; total <= k; ++total)
+    for (int a = 0; a <= total; ++a)
+      cum += poisson_pmf(mean, a) * binomial_pmf(n, p, total - a);
+  return std::clamp(1.0 - cum, 0.0, 1.0);
+}
+
+std::vector<BusErrorModel> derive_error_models(const VehicleModel& model) {
+  std::vector<BusErrorModel> models(model.buses.size());
+  for (const config::FaultEventSpec& event : model.fault_events) {
+    if (event.kind != config::FaultKind::kBusErrorRate &&
+        event.kind != config::FaultKind::kBusErrorProb)
+      continue;
+    for (std::size_t b = 0; b < model.buses.size(); ++b) {
+      if (model.buses[b].scenario_name != event.target) continue;
+      if (event.kind == config::FaultKind::kBusErrorRate)
+        models[b].poisson_rate_per_s += event.value;
+      else if (models[b].per_attempt_prob == 0.0)  // exact for the single-spec case
+        models[b].per_attempt_prob = event.value;
+      else
+        models[b].per_attempt_prob =
+            1.0 - (1.0 - models[b].per_attempt_prob) * (1.0 - event.value);
+    }
+  }
+  return models;
+}
+
+ProbabilisticCanAnalyzer::ProbabilisticCanAnalyzer(VehicleModel model)
+    : evaluator_(std::move(model)) {
+  evaluator_.set_probabilistic(true);
+}
+
+Report ProbabilisticCanAnalyzer::report() { return evaluator_.report(); }
+
+const ProbOutcome& ProbabilisticCanAnalyzer::bus_outcome(std::size_t bus) {
+  evaluator_.evaluate();
+  return evaluator_.prob_outcome(bus);
+}
+
+Report analyze_probabilistic(const VehicleModel& model) {
+  ProbabilisticCanAnalyzer analyzer(model);
+  return analyzer.report();
+}
+
+Report analyze_probabilistic_scenario(const config::ScenarioSpec& spec) {
+  return analyze_probabilistic(extract_model(spec));
+}
+
+}  // namespace ev::analysis

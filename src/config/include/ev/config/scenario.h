@@ -35,6 +35,13 @@ enum class FaultKind : std::uint8_t {
   kPartitionCrash,  ///< Crash the named cockpit partition.
   kPartitionHang,   ///< Hang the named partition for `value` major frames.
   kSensorStuck,     ///< Stick cell `target`'s voltage sensor at `value` V.
+  kBusErrorRate,    ///< Poisson transmission-error process on the target CAN
+                    ///< bus: `value` is the error rate [errors/s] (>= 0,
+                    ///< finite). Errored frames retransmit after the CAN
+                    ///< error-flag recovery; `evsys check --prob` turns the
+                    ///< rate into per-frame deadline-miss probabilities.
+  kBusErrorProb,    ///< Bernoulli per-transmission-attempt error on the
+                    ///< target CAN bus: `value` is a probability in [0, 1].
 };
 
 struct FaultEventSpec {

@@ -1,5 +1,6 @@
 #include "ev/config/scenario.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +41,8 @@ FaultKind parse_fault_kind(const std::string& s) {
   if (s == "partition.crash") return FaultKind::kPartitionCrash;
   if (s == "partition.hang") return FaultKind::kPartitionHang;
   if (s == "bms.stuck_voltage") return FaultKind::kSensorStuck;
+  if (s == "bus.error_rate") return FaultKind::kBusErrorRate;
+  if (s == "bus.error_prob") return FaultKind::kBusErrorProb;
   fail("scenario: unknown fault kind '" + s + "'");
 }
 
@@ -175,6 +178,8 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kPartitionCrash: return "partition.crash";
     case FaultKind::kPartitionHang: return "partition.hang";
     case FaultKind::kSensorStuck: return "bms.stuck_voltage";
+    case FaultKind::kBusErrorRate: return "bus.error_rate";
+    case FaultKind::kBusErrorProb: return "bus.error_prob";
   }
   return "bus.drop";
 }
@@ -262,6 +267,15 @@ void ScenarioSpec::validate() const {
     if ((f.kind == FaultKind::kBusOff || f.kind == FaultKind::kBusBabble) &&
         f.value <= 0.0)
       fail("scenario: " + at + " needs a positive duration");
+    // Stochastic error models: reject out-of-range parameters here so the
+    // analyzer and the simulation never see a rate they would have to clamp.
+    // !(x >= 0) also catches NaN.
+    if (f.kind == FaultKind::kBusErrorRate &&
+        (!(f.value >= 0.0) || !std::isfinite(f.value)))
+      fail("scenario: " + at + " needs a finite error rate >= 0 [errors/s]");
+    if (f.kind == FaultKind::kBusErrorProb &&
+        !(f.value >= 0.0 && f.value <= 1.0))
+      fail("scenario: " + at + " needs an error probability in [0, 1]");
   }
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -28,6 +29,7 @@
 #include "ev/faults/fault_plan.h"
 #include "ev/faults/network_faults.h"
 #include "ev/middleware/health.h"
+#include "ev/network/can.h"
 #include "ev/obs/metrics.h"
 #include "ev/obs/sim_observer.h"
 #include "ev/obs/span_trace.h"
@@ -100,6 +102,10 @@ class FaultsSubsystem final : public Subsystem {
   std::unique_ptr<faults::NetworkHealthWatcher> watcher_;
   std::unique_ptr<faults::FaultPlan> plan_;
   std::vector<std::unique_ptr<faults::BabblingIdiot>> babblers_;
+  /// Combined stochastic error model per CAN bus: rate and probability specs
+  /// targeting the same bus merge before arming (mirrors
+  /// analysis::derive_error_models so sim and analyzer agree).
+  std::map<network::CanBus*, network::CanErrorModel> staged_errors_;
   std::vector<ModeChange> mode_changes_;
 };
 

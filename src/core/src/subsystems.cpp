@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 
 #include "ev/network/bus.h"
+#include "ev/network/can.h"
 #include "ev/obs/export.h"
 
 namespace ev::core {
@@ -145,6 +147,30 @@ void FaultsSubsystem::before_run(VehicleSystem& vehicle) {
         const auto windows = static_cast<std::uint32_t>(event.value);
         plan_->add(at, label,
                    [cockpit, p, windows] { cockpit->partition(p).inject_hang(windows); });
+        break;
+      }
+      case config::FaultKind::kBusErrorRate:
+      case config::FaultKind::kBusErrorProb: {
+        auto* can = dynamic_cast<network::CanBus*>(resolve_bus(vehicle, event.target));
+        if (can == nullptr)
+          throw std::invalid_argument("fault '" + label +
+                                      "': stochastic error models need a CAN bus");
+        // Arm at the scheduled instant; rate and probability specs on the
+        // same bus share one model, so stage the merge here and (re)arm with
+        // the combined figures. The RNG stream is derived from the plan seed
+        // so campaigns replay bit-identically per seed.
+        network::CanErrorModel* staged = &staged_errors_[can];
+        if (event.kind == config::FaultKind::kBusErrorRate)
+          staged->poisson_rate_per_s += event.value;
+        else if (staged->per_attempt_prob == 0.0)  // exact for the single-spec case
+          staged->per_attempt_prob = event.value;
+        else
+          staged->per_attempt_prob =
+              1.0 - (1.0 - staged->per_attempt_prob) * (1.0 - event.value);
+        staged->seed = options_.seed ^ (0x9e3779b97f4a7c15ULL +
+                                        std::hash<std::string>{}(event.target));
+        const network::CanErrorModel armed = *staged;
+        plan_->add(at, label, [can, armed] { can->arm_error_model(armed); });
         break;
       }
       case config::FaultKind::kSensorStuck: {

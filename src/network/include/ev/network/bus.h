@@ -102,6 +102,10 @@ class Bus {
   void account_busy(sim::Time busy) noexcept { busy_ += busy; }
   /// The simulation kernel.
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  /// The registry attach_observer() wired up, or nullptr. Lets protocol
+  /// subclasses register their own metrics lazily (e.g. only once a fault
+  /// model is armed) without widening the default metric set.
+  [[nodiscard]] obs::MetricsRegistry* observer() const noexcept { return metrics_; }
   /// Stamps and returns the next frame sequence number.
   [[nodiscard]] std::uint64_t next_sequence() noexcept { return seq_++; }
 

@@ -12,8 +12,29 @@
 #include <vector>
 
 #include "ev/network/bus.h"
+#include "ev/util/rng.h"
 
 namespace ev::network {
+
+/// Seeded stochastic transmission-error process for a CAN bus, the
+/// simulation side of the E24 probabilistic timing analysis. Both channels
+/// may be active at once:
+///  - Poisson: bit errors arrive at `poisson_rate_per_s` on the wire clock;
+///    an arrival during a transmission destroys that frame.
+///  - Bernoulli: each transmission attempt independently errors with
+///    `per_attempt_prob` (detected at the end of the frame, the worst case).
+/// An errored frame pays the 31-bit error-flag recovery and re-enters
+/// arbitration with its original FIFO position (CAN automatic
+/// retransmission) — errors add latency, they never lose frames.
+struct CanErrorModel {
+  double poisson_rate_per_s = 0.0;  ///< Errors per second (>= 0).
+  double per_attempt_prob = 0.0;    ///< Per-attempt error probability [0, 1].
+  std::uint64_t seed = 1;           ///< Seed of the private error Rng.
+
+  [[nodiscard]] bool armed() const noexcept {
+    return poisson_rate_per_s > 0.0 || per_attempt_prob > 0.0;
+  }
+};
 
 /// CAN 2.0A bus. Payload limited to 8 bytes; frames exceeding it are
 /// rejected by send().
@@ -30,16 +51,43 @@ class CanBus : public Bus {
   /// including worst-case bit stuffing, in bits (standard 11-bit identifier).
   [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bytes) noexcept;
 
+  /// Active error flag (6) + error delimiter (8) + intermission (3) plus the
+  /// worst-case echo of superposed flags — the classic 31-bit recovery
+  /// overhead Broster's analysis charges per error.
+  static constexpr std::size_t kErrorRecoveryBits = 31;
+
+  /// Arms (or, with an all-zero model, disarms) the seeded error process.
+  /// With no model ever armed the transmission path pays one untaken branch
+  /// — behaviour and observable state stay bit-identical to a plain bus.
+  /// Registers counter `net.<name>.fault.errors` when an observer is
+  /// attached and the model is armed.
+  void arm_error_model(const CanErrorModel& model);
+
+  /// Transmission attempts destroyed by the armed error model (each one
+  /// caused exactly one retransmission).
+  [[nodiscard]] std::size_t fault_error_count() const noexcept { return fault_errors_; }
+
  protected:
   bool do_send(Frame frame) override;
 
  private:
   void try_start_transmission();
   void finish_transmission();
+  void abort_transmission();
+  /// First error striking a transmission of length \p tx starting now, as an
+  /// offset from now, or unset when this attempt goes through clean.
+  [[nodiscard]] std::optional<sim::Time> next_error_within(sim::Time tx);
 
   std::vector<Frame> pending_;  // arbitration pool, winner = min id then FIFO
   std::optional<Frame> transmitting_;
   bool busy_ = false;
+  // Injected-error state (inert until arm_error_model).
+  bool error_armed_ = false;
+  CanErrorModel error_model_;
+  util::Rng error_rng_;
+  double next_error_s_ = 0.0;  // absolute time of the next Poisson arrival
+  std::size_t fault_errors_ = 0;
+  obs::MetricId fault_errors_metric_ = obs::kInvalidId;
 };
 
 /// One periodic message for the offline response-time analysis.
@@ -63,5 +111,15 @@ struct CanResponseTime {
 /// interference fixed point for w_i. \p bit_rate_bps must match the bus.
 [[nodiscard]] std::vector<CanResponseTime> can_response_times(
     const std::vector<CanMessageSpec>& messages, double bit_rate_bps);
+
+/// Broster-style fault-aware variant: the busy period additionally absorbs
+/// \p errors error recoveries of \p error_overhead_s each (error flag plus
+/// the retransmission of the longest frame), i.e. R_i(k) with
+/// w = B_i + k*O + interference. With (0.0, 0) this is bit-identical to the
+/// error-free analysis above — the probabilistic pass degenerates to the
+/// deterministic bound by construction.
+[[nodiscard]] std::vector<CanResponseTime> can_response_times(
+    const std::vector<CanMessageSpec>& messages, double bit_rate_bps,
+    double error_overhead_s, int errors);
 
 }  // namespace ev::network

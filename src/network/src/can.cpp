@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ev::network {
 
@@ -37,6 +38,18 @@ void CanBus::try_start_transmission() {
   pending_.erase(winner);
   busy_ = true;
   const sim::Time tx = tx_time(frame_bits(transmitting_->payload_size));
+  if (error_armed_) {
+    if (const std::optional<sim::Time> hit = next_error_within(tx)) {
+      // The frame dies `*hit` into the attempt; the bus then signals the
+      // error flag before arbitration reopens and the frame retransmits.
+      const sim::Time recovery = *hit + tx_time(kErrorRecoveryBits);
+      ++fault_errors_;
+      if (observer() != nullptr) observer()->add(fault_errors_metric_);
+      account_busy(recovery);
+      simulator().schedule_in(recovery, [this] { abort_transmission(); });
+      return;
+    }
+  }
   account_busy(tx);
   simulator().schedule_in(tx, [this] { finish_transmission(); });
 }
@@ -48,12 +61,66 @@ void CanBus::finish_transmission() {
   try_start_transmission();
 }
 
+void CanBus::abort_transmission() {
+  // CAN automatic retransmission: the destroyed frame re-enters arbitration
+  // keeping its original sequence (and hence its FIFO position among equal
+  // identifiers) — errors delay frames, they never drop them.
+  pending_.push_back(std::move(*transmitting_));
+  transmitting_.reset();
+  busy_ = false;
+  try_start_transmission();
+}
+
+void CanBus::arm_error_model(const CanErrorModel& model) {
+  error_model_ = model;
+  error_armed_ = model.armed();
+  error_rng_ = util::Rng(model.seed);
+  next_error_s_ = std::numeric_limits<double>::infinity();
+  if (model.poisson_rate_per_s > 0.0)
+    next_error_s_ = simulator().now().to_seconds() +
+                    error_rng_.exponential(model.poisson_rate_per_s);
+  if (error_armed_ && observer() != nullptr && fault_errors_metric_ == obs::kInvalidId)
+    fault_errors_metric_ = observer()->counter("net." + name() + ".fault.errors");
+}
+
+std::optional<sim::Time> CanBus::next_error_within(sim::Time tx) {
+  const double now_s = simulator().now().to_seconds();
+  const double tx_s = tx.to_seconds();
+  double hit_s = std::numeric_limits<double>::infinity();
+  if (error_model_.poisson_rate_per_s > 0.0) {
+    // Arrivals that fell while the bus was idle hit no frame; advancing by
+    // fresh exponential gaps keeps the process Poisson on the wire clock.
+    while (next_error_s_ < now_s)
+      next_error_s_ += error_rng_.exponential(error_model_.poisson_rate_per_s);
+    if (next_error_s_ < now_s + tx_s) {
+      hit_s = next_error_s_ - now_s;
+      next_error_s_ += error_rng_.exponential(error_model_.poisson_rate_per_s);
+    }
+  }
+  if (error_model_.per_attempt_prob > 0.0 &&
+      error_rng_.bernoulli(error_model_.per_attempt_prob))
+    // A CRC-detected corruption surfaces at the end of the frame.
+    hit_s = std::min(hit_s, tx_s);
+  if (!std::isfinite(hit_s)) return std::nullopt;
+  return sim::Time::seconds(hit_s);
+}
+
 std::vector<CanResponseTime> can_response_times(const std::vector<CanMessageSpec>& messages,
                                                 double bit_rate_bps) {
+  return can_response_times(messages, bit_rate_bps, 0.0, 0);
+}
+
+std::vector<CanResponseTime> can_response_times(const std::vector<CanMessageSpec>& messages,
+                                                double bit_rate_bps,
+                                                double error_overhead_s, int errors) {
   const double tau_bit = 1.0 / bit_rate_bps;
   auto tx_of = [&](const CanMessageSpec& m) {
     return static_cast<double>(CanBus::frame_bits(m.payload_bytes)) * tau_bit;
   };
+  // k error recoveries lengthen every level-i busy period by k*O (Broster
+  // 2002). With zero errors this term is +0.0, leaving the error-free fixed
+  // point bit-identical.
+  const double recovery = error_overhead_s * static_cast<double>(errors);
 
   std::vector<CanMessageSpec> sorted = messages;
   std::sort(sorted.begin(), sorted.end(),
@@ -70,10 +137,10 @@ std::vector<CanResponseTime> can_response_times(const std::vector<CanMessageSpec
       blocking = std::max(blocking, tx_of(sorted[j]));
 
     // Fixed point on the queuing delay w.
-    double w = blocking;
+    double w = blocking + recovery;
     bool converged = false;
     for (int iter = 0; iter < 10000; ++iter) {
-      double w_next = blocking;
+      double w_next = blocking + recovery;
       for (std::size_t j = 0; j < i; ++j) {
         const CanMessageSpec& mj = sorted[j];
         w_next += std::ceil((w + mj.jitter_s + tau_bit) / mj.period_s) * tx_of(mj);

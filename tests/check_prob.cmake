@@ -1,0 +1,63 @@
+# Round-trip test for `evsys check --prob`, run under ctest (see
+# tests/CMakeLists.txt):
+#   armed error models  -> exit 0, prob.* rules present, byte-identical
+#                          JSON across two runs
+#   zero-valued models  -> --prob output byte-identical to the plain check
+#   no fault plan       -> --prob output byte-identical to the plain check
+# Expects -DEVSYS=<path to the evsys binary> and -DSOURCE_DIR=<repo root>.
+if(NOT DEFINED EVSYS OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DEVSYS=<binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+function(run_check out)
+  execute_process(
+    COMMAND "${EVSYS}" check ${ARGN} --out "${out}"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys check ${ARGN}: expected exit 0, got ${code}")
+  endif()
+endfunction()
+
+function(expect_identical a b what)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "${what}: reports differ (${a} vs ${b})")
+  endif()
+  message(STATUS "byte-identical: ${what}")
+endfunction()
+
+set(armed "${SOURCE_DIR}/tests/data/error_model.scn")
+set(zero "${SOURCE_DIR}/tests/data/error_model_zero.scn")
+set(clean "${SOURCE_DIR}/examples/scenarios/city_commute.scn")
+set(dir "${CMAKE_CURRENT_BINARY_DIR}")
+
+# Armed models: the prob.* rules must actually appear, and the report must
+# be deterministic across reruns.
+run_check("${dir}/prob_armed_a.json" "${armed}" --prob)
+run_check("${dir}/prob_armed_b.json" "${armed}" --prob)
+expect_identical("${dir}/prob_armed_a.json" "${dir}/prob_armed_b.json"
+                 "check --prob rerun on armed error models")
+file(READ "${dir}/prob_armed_a.json" armed_json)
+foreach(rule IN ITEMS "prob.bus_error" "prob.frame_miss")
+  if(NOT armed_json MATCHES "${rule}")
+    message(FATAL_ERROR "check --prob on ${armed} emitted no ${rule} rule")
+  endif()
+endforeach()
+message(STATUS "prob.bus_error + prob.frame_miss present for armed models")
+
+# Zero-valued error models: --prob degenerates to the deterministic pass.
+run_check("${dir}/prob_zero.json" "${zero}" --prob)
+run_check("${dir}/det_zero.json" "${zero}")
+expect_identical("${dir}/prob_zero.json" "${dir}/det_zero.json"
+                 "check --prob degenerates at rate 0")
+if(det_zero MATCHES "prob\\.")
+  message(FATAL_ERROR "deterministic check emitted prob.* rules")
+endif()
+
+# No fault plan at all: same degeneracy.
+run_check("${dir}/prob_clean.json" "${clean}" --prob)
+run_check("${dir}/det_clean.json" "${clean}")
+expect_identical("${dir}/prob_clean.json" "${dir}/det_clean.json"
+                 "check --prob degenerates with no fault plan")

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,8 @@ ScenarioSpec fully_loaded_spec() {
       FaultEventSpec{5.0, FaultKind::kPartitionCrash, "information", 0.0},
       FaultEventSpec{6.0, FaultKind::kPartitionHang, "hmi", 4.0},
       FaultEventSpec{7.0, FaultKind::kSensorStuck, "17", 5.5},
+      FaultEventSpec{8.0, FaultKind::kBusErrorRate, "safety_can", 312.5},
+      FaultEventSpec{9.0, FaultKind::kBusErrorProb, "comfort_can", 0.0225},
   };
   return spec;
 }
@@ -270,6 +273,53 @@ TEST(ScenarioParser, RejectsMalformedFaultLines) {
 }
 
 // ------------------------------------------------------------- validation ----
+
+TEST(ScenarioValidate, ErrorModelFaultsRoundTripAndParse) {
+  const ScenarioSpec spec = ScenarioSpec::from_text(
+      "fault.0 = 1 bus.error_rate safety_can 250\n"
+      "fault.1 = 2.5 bus.error_prob comfort_can 0.03125\n");
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults[0].kind, FaultKind::kBusErrorRate);
+  EXPECT_EQ(spec.faults[0].target, "safety_can");
+  EXPECT_EQ(spec.faults[0].value, 250.0);
+  EXPECT_EQ(spec.faults[1].kind, FaultKind::kBusErrorProb);
+  EXPECT_EQ(spec.faults[1].value, 0.03125);
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+  EXPECT_EQ(to_string(FaultKind::kBusErrorRate), "bus.error_rate");
+  EXPECT_EQ(to_string(FaultKind::kBusErrorProb), "bus.error_prob");
+}
+
+TEST(ScenarioValidate, RejectsOutOfRangeErrorModelParameters) {
+  const auto with_fault = [](FaultKind kind, double value) {
+    ScenarioSpec spec;
+    spec.faults = {FaultEventSpec{0.0, kind, "safety_can", value}};
+    return spec;
+  };
+  // Negative, infinite, and NaN rates are all typed config errors.
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorRate, -1.0).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorRate,
+                          std::numeric_limits<double>::infinity())
+                   .validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorRate,
+                          std::numeric_limits<double>::quiet_NaN())
+                   .validate(),
+               std::invalid_argument);
+  // Probabilities live in [0, 1]; NaN fails the range check too.
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorProb, -0.1).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorProb, 1.0001).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with_fault(FaultKind::kBusErrorProb,
+                          std::numeric_limits<double>::quiet_NaN())
+                   .validate(),
+               std::invalid_argument);
+  // The closed boundaries are valid: rate 0 and the probability endpoints.
+  EXPECT_NO_THROW(with_fault(FaultKind::kBusErrorRate, 0.0).validate());
+  EXPECT_NO_THROW(with_fault(FaultKind::kBusErrorProb, 0.0).validate());
+  EXPECT_NO_THROW(with_fault(FaultKind::kBusErrorProb, 1.0).validate());
+}
 
 TEST(ScenarioValidate, RejectsBadTiming) {
   ScenarioSpec spec;

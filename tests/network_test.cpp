@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <tuple>
 
 #include "ev/network/can.h"
 #include "ev/network/ethernet.h"
@@ -183,6 +185,118 @@ TEST(CanAnalysis, BoundDominatesSimulation) {
   }
   sim.run_until(Time::s(5));
   for (const auto& [id, obs] : observed_max) EXPECT_LE(obs, bound_of[id] + 1e-9);
+}
+
+// ------------------------------------------------- CAN stochastic errors ----
+
+// Fixed periodic workload shared by the error-model tests: four frames sent
+// on their periods until \p until_s, then one extra second of drain time
+// (errors delay frames, they never lose them). Returns the send count.
+std::size_t drive_workload(Simulator& sim, CanBus& bus, double until_s) {
+  auto sent = std::make_shared<std::size_t>(0);
+  for (std::uint32_t id = 1; id <= 4; ++id) {
+    const double period_s = 0.004 + 0.001 * id;
+    sim.schedule_periodic(Time{}, Time::seconds(period_s),
+                          [&bus, &sim, sent, id, until_s] {
+                            if (sim.now().to_seconds() > until_s) return;
+                            Frame f;
+                            f.id = id;
+                            f.payload_size = 8;
+                            if (bus.send(f)) ++*sent;
+                          });
+  }
+  sim.run_until(Time::seconds(until_s + 1.0));
+  return *sent;
+}
+
+TEST(CanErrorModel, ZeroModelIsInert) {
+  Simulator clean_sim, armed_sim;
+  CanBus clean(clean_sim, "can", 125e3);
+  CanBus armed(armed_sim, "can", 125e3);
+  armed.arm_error_model(CanErrorModel{});  // all-zero: disarmed
+  drive_workload(clean_sim, clean, 1.0);
+  drive_workload(armed_sim, armed, 1.0);
+  EXPECT_EQ(armed.fault_error_count(), 0u);
+  EXPECT_EQ(armed.delivered_count(), clean.delivered_count());
+  EXPECT_EQ(armed.latency().max(), clean.latency().max());
+  EXPECT_EQ(armed.latency().mean(), clean.latency().mean());
+}
+
+TEST(CanErrorModel, PoissonErrorsDelayButNeverLose) {
+  Simulator clean_sim, armed_sim;
+  CanBus clean(clean_sim, "can", 125e3);
+  CanBus armed(armed_sim, "can", 125e3);
+  CanErrorModel model;
+  model.poisson_rate_per_s = 400.0;
+  model.seed = 7;
+  armed.arm_error_model(model);
+  drive_workload(clean_sim, clean, 2.0);
+  drive_workload(armed_sim, armed, 2.0);
+  EXPECT_GT(armed.fault_error_count(), 0u);
+  // Automatic retransmission: every frame still arrives, only later.
+  EXPECT_EQ(armed.delivered_count(), clean.delivered_count());
+  EXPECT_GT(armed.latency().mean(), clean.latency().mean());
+}
+
+TEST(CanErrorModel, BernoulliErrorsDelayButNeverLose) {
+  Simulator sim;
+  CanBus bus(sim, "can", 125e3);
+  CanErrorModel model;
+  model.per_attempt_prob = 0.25;
+  model.seed = 11;
+  bus.arm_error_model(model);
+  const std::size_t sent = drive_workload(sim, bus, 2.0);
+  EXPECT_GT(bus.fault_error_count(), 0u);
+  // ~1/3 extra attempts at p = 0.25; every one of them ends in a delivery.
+  EXPECT_EQ(bus.delivered_count(), sent);
+}
+
+TEST(CanErrorModel, SameSeedReplaysBitIdentically) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    CanBus bus(sim, "can", 125e3);
+    CanErrorModel model;
+    model.poisson_rate_per_s = 300.0;
+    model.per_attempt_prob = 0.05;
+    model.seed = seed;
+    bus.arm_error_model(model);
+    drive_workload(sim, bus, 2.0);
+    return std::tuple{bus.fault_error_count(), bus.latency().max(),
+                      bus.latency().mean()};
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<0>(run(42)), std::get<0>(run(43)));
+}
+
+TEST(CanAnalysis, FaultAwareLadderMatchesErrorFreeAtZero) {
+  const std::vector<CanMessageSpec> set{{1, 8, 0.005, 0.0}, {2, 8, 0.007, 0.0002},
+                                        {3, 8, 0.009, 0.0}, {4, 4, 0.011, 0.0}};
+  const auto clean = can_response_times(set, 125e3);
+  const auto zero = can_response_times(set, 125e3, 135.0 / 125e3, 0);
+  ASSERT_EQ(clean.size(), zero.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    // Bit-identical, not merely close: the k = 0 rung IS the deterministic
+    // analysis (the E24 degeneracy contract).
+    EXPECT_EQ(clean[i].worst_case_s, zero[i].worst_case_s);
+    EXPECT_EQ(clean[i].schedulable, zero[i].schedulable);
+  }
+}
+
+TEST(CanAnalysis, FaultAwareLadderMonotoneInErrors) {
+  const std::vector<CanMessageSpec> set{{1, 8, 0.005, 0.0}, {2, 8, 0.007, 0.0},
+                                        {3, 8, 0.009, 0.0}, {4, 8, 0.011, 0.0}};
+  const double overhead_s = (31.0 + 135.0) / 125e3;
+  auto prev = can_response_times(set, 125e3, overhead_s, 0);
+  for (int k = 1; k <= 8; ++k) {
+    const auto next = can_response_times(set, 125e3, overhead_s, k);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (!prev[i].schedulable) continue;
+      if (next[i].schedulable) {
+        EXPECT_GE(next[i].worst_case_s, prev[i].worst_case_s + overhead_s - 1e-12);
+      }
+    }
+    prev = next;
+  }
 }
 
 // ------------------------------------------------------------------ LIN ----

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "ev/analysis/analyzer.h"
+#include "ev/analysis/prob.h"
 #include "ev/campaign/campaign.h"
 #include "ev/config/fleet.h"
 #include "ev/config/scenario.h"
@@ -55,7 +56,7 @@ int usage(const char* argv0) {
                "                [--stride <n>] [--jobs <n>] [--out <file>]\n"
                "       %s fleet <scenario.fleet> [--jobs <n>] [--out <file>]\n"
                "                [--metrics <base>]\n"
-               "       %s check <scenario.scn> [--out <file>]\n"
+               "       %s check <scenario.scn> [--prob] [--out <file>]\n"
                "       %s synthesize <scenario.scn> [--seed <n>] [--iters <n>]\n"
                "                [--jobs <n>] [--out <file>] [--report <file>]\n"
                "                [--cross-check]\n"
@@ -79,7 +80,12 @@ int usage(const char* argv0) {
                "            running it: schedulability bounds per ECU and bus,\n"
                "            plus wiring lints. Diagnostics JSON goes to stdout\n"
                "            (or --out <file>), a summary to stderr. Exit code:\n"
-               "            0 clean, 1 errors, 3 warnings only.\n"
+               "            0 clean, 1 errors, 3 warnings only. --prob adds the\n"
+               "            probabilistic fault-aware timing pass: per-frame\n"
+               "            deadline-miss probabilities (prob.* rules) under\n"
+               "            the scenario's bus.error_rate / bus.error_prob\n"
+               "            fault specs; with no such spec the output is\n"
+               "            byte-identical to the plain check.\n"
                "  fleet     simulate the OCPP-style fleet charging backend the\n"
                "            .fleet scenario describes — heartbeat leases,\n"
                "            retry/backoff control channel, grid-aware load\n"
@@ -132,9 +138,12 @@ int cmd_campaign(const std::string& path, const ev::campaign::CampaignOptions& o
   return out ? 0 : 1;
 }
 
-int cmd_check(const std::string& path, const std::string& out_path) {
+int cmd_check(const std::string& path, bool probabilistic,
+              const std::string& out_path) {
   const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
-  const ev::analysis::Report report = ev::analysis::analyze_scenario(spec);
+  const ev::analysis::Report report =
+      probabilistic ? ev::analysis::analyze_probabilistic_scenario(spec)
+                    : ev::analysis::analyze_scenario(spec);
 
   if (out_path.empty()) {
     ev::analysis::write_report_json(report, std::cout);
@@ -323,15 +332,18 @@ int main(int argc, char** argv) {
     }
     if (command == "check") {
       if (argc < 3) return usage(argv[0]);
+      bool probabilistic = false;
       std::string out_path;
       for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--prob") == 0) {
+          probabilistic = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
           out_path = argv[++i];
         } else {
           return usage(argv[0]);
         }
       }
-      return cmd_check(argv[2], out_path);
+      return cmd_check(argv[2], probabilistic, out_path);
     }
     if (command == "campaign") {
       if (argc < 3) return usage(argv[0]);
