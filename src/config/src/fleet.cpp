@@ -1,5 +1,6 @@
 #include "ev/config/fleet.h"
 
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -38,6 +39,32 @@ std::string to_string(GridFaultKindSpec kind) {
 }
 
 void FleetSpec::validate() const {
+  // NaN slips through the range comparisons below (every comparison is
+  // false) and +inf passes one-sided lower-bound checks, so finiteness is
+  // asserted first; a valid spec holds only finite doubles, matching what
+  // the parser accepts.
+  const auto finite = [](double v, const char* what) {
+    if (!std::isfinite(v)) fail(std::string("fleet: ") + what + " must be finite");
+  };
+  finite(sim_hours, "fleet.sim_hours");
+  finite(tick_s, "fleet.tick_s");
+  finite(station_max_current_a, "station.max_current_a");
+  finite(station_min_current_a, "station.min_current_a");
+  finite(station_safe_current_a, "station.safe_current_a");
+  finite(station_voltage_v, "station.voltage_v");
+  finite(arrival_rate_per_station_per_h, "sessions.arrival_rate_per_station_per_h");
+  finite(session_energy_min_kwh, "sessions.energy_min_kwh");
+  finite(session_energy_max_kwh, "sessions.energy_max_kwh");
+  finite(meter_period_s, "sessions.meter_period_s");
+  finite(grid_capacity_kw, "grid.capacity_kw");
+  finite(rebalance_period_s, "grid.rebalance_period_s");
+  finite(heartbeat_period_s, "heartbeat.period_s");
+  finite(heartbeat_lease_s, "heartbeat.lease_s");
+  finite(msg_loss_probability, "channel.loss_probability");
+  finite(retry_timeout_s, "retry.timeout_s");
+  finite(retry_backoff_base_s, "retry.backoff_base_s");
+  finite(retry_backoff_cap_s, "retry.backoff_cap_s");
+  finite(retry_jitter, "retry.jitter");
   if (name.empty()) fail("fleet: name must not be empty");
   if (name.find_first_of(" \t\n=") != std::string::npos)
     fail("fleet: name must not contain whitespace or '='");
@@ -78,6 +105,9 @@ void FleetSpec::validate() const {
   for (std::size_t i = 0; i < grid_faults.size(); ++i) {
     const GridFaultSpec& f = grid_faults[i];
     const std::string at = "gridfault." + std::to_string(i);
+    if (!std::isfinite(f.at_s)) fail("fleet: " + at + " time must be finite");
+    if (!std::isfinite(f.value)) fail("fleet: " + at + " value must be finite");
+    if (!std::isfinite(f.duration_s)) fail("fleet: " + at + " duration must be finite");
     if (f.at_s < 0.0) fail("fleet: " + at + " time must be non-negative");
     if (f.duration_s <= 0.0) fail("fleet: " + at + " needs a positive duration");
     switch (f.kind) {

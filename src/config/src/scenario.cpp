@@ -185,6 +185,24 @@ std::string to_string(FaultKind kind) {
 }
 
 void ScenarioSpec::validate() const {
+  // Range checks below are written as `v < lo || v > hi`, which NaN slips
+  // through (every comparison is false) and +inf slips past one-sided `< lo`
+  // checks — so finiteness is asserted explicitly first. A valid spec holds
+  // only finite doubles, which keeps the to_text/from_text round trip closed
+  // (the parser rejects non-finite values).
+  const auto finite = [](double v, const char* what) {
+    if (!std::isfinite(v)) fail(std::string("scenario: ") + what + " must be finite");
+  };
+  finite(pack.initial_soc, "pack.initial_soc");
+  finite(pack.soc_spread_sigma, "pack.soc_spread_sigma");
+  finite(bms.initial_soc_estimate, "bms.initial_soc_estimate");
+  finite(powertrain.aux_power_w, "powertrain.aux_power_w");
+  finite(network.load_scale, "network.load_scale");
+  finite(network.can_bit_rate, "network.can_bit_rate");
+  finite(network.lin_bit_rate, "network.lin_bit_rate");
+  finite(network.flexray_bit_rate, "network.flexray_bit_rate");
+  finite(timing.control_period_s, "timing.control_period_s");
+  finite(timing.bms_publish_period_s, "timing.bms_publish_period_s");
   if (name.empty()) fail("scenario: name must not be empty");
   if (name.find_first_of(" \t\n=") != std::string::npos)
     fail("scenario: name must not contain whitespace or '='");
@@ -256,6 +274,8 @@ void ScenarioSpec::validate() const {
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultEventSpec& f = faults[i];
     const std::string at = "fault." + std::to_string(i);
+    if (!std::isfinite(f.at_s)) fail("scenario: " + at + " time must be finite");
+    if (!std::isfinite(f.value)) fail("scenario: " + at + " value must be finite");
     if (f.at_s < 0.0) fail("scenario: " + at + " time must be non-negative");
     if (f.target.empty()) fail("scenario: " + at + " needs a target");
     if (f.target.find_first_of(" \t") != std::string::npos)

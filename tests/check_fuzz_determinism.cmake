@@ -1,0 +1,41 @@
+# Fuzz-campaign determinism contract, run under ctest (see
+# tests/CMakeLists.txt):
+#   same --seed, rerun           -> byte-identical report
+#   --jobs 1 vs --jobs 8         -> byte-identical report
+#   the bounded campaign         -> exit 0 (no failures on this seed)
+# Expects -DEVSYS=<path to the evsys binary>.
+if(NOT DEFINED EVSYS)
+  message(FATAL_ERROR "pass -DEVSYS=<binary>")
+endif()
+
+set(work "${CMAKE_CURRENT_BINARY_DIR}/fuzz_determinism")
+file(MAKE_DIRECTORY "${work}")
+
+function(run_fuzz tag jobs)
+  execute_process(
+    COMMAND "${EVSYS}" fuzz --seed 5 --count 8 --jobs "${jobs}"
+            --out "${work}/${tag}.json"
+    RESULT_VARIABLE code
+    ERROR_QUIET)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "evsys fuzz (${tag}) failed with ${code}")
+  endif()
+endfunction()
+
+run_fuzz(serial_a 1)
+run_fuzz(serial_b 1)
+run_fuzz(wide 8)
+
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${work}/serial_a.json" "${work}/serial_b.json"
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR "same-seed reruns differ in the fuzz report")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${work}/serial_a.json" "${work}/wide.json"
+                RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 vs --jobs 8 differ in the fuzz report")
+endif()
+message(STATUS "deterministic: same seed and any --jobs byte-identical")

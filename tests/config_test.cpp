@@ -234,6 +234,98 @@ TEST(ScenarioParser, RejectsNonNumericScalars) {
                std::invalid_argument);
 }
 
+// Substring assertion helper for parser diagnostics.
+void expect_parse_rejects(const std::string& line, const std::string& needle) {
+  try {
+    (void)ScenarioSpec::from_text(line);
+    FAIL() << "accepted: " << line;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "for " << line << " got: " << e.what();
+  }
+}
+
+TEST(ScenarioParser, RejectsOutOfRangeScalars) {
+  // strtod/strtoull saturate on ERANGE (1e999 → inf, 20-digit integers →
+  // ULLONG_MAX); the parser must fail typed instead of accepting the clamp.
+  expect_parse_rejects("powertrain.aux_power_w = 1e999\n", "out of range");
+  expect_parse_rejects("powertrain.aux_power_w = -1e999\n", "out of range");
+  expect_parse_rejects("pack.initial_soc = 1e999\n", "out of range");
+  // Total underflow to zero is also a silent value change.
+  expect_parse_rejects("powertrain.aux_power_w = 1e-999\n", "out of range");
+  // u64 overflow (> 2^64 - 1) and i64 overflow (> 2^63 - 1).
+  expect_parse_rejects("drive.repeat = 99999999999999999999\n", "out of range");
+  expect_parse_rejects("powertrain.seed = 99999999999999999999\n", "out of range");
+  expect_parse_rejects("timing.middleware_frame_us = 99999999999999999999\n",
+                       "out of range");
+  expect_parse_rejects("timing.middleware_frame_us = -99999999999999999999\n",
+                       "out of range");
+}
+
+TEST(ScenarioParser, RejectsNonFiniteDoubles) {
+  // inf/nan would leak through every range check in validate(); to_text can
+  // never emit them, so the grammar rejects them outright.
+  expect_parse_rejects("powertrain.aux_power_w = inf\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = -inf\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = nan\n", "expects a number");
+  expect_parse_rejects("network.load_scale = nan\n", "expects a number");
+}
+
+TEST(ScenarioParser, RejectsGrammarBeyondWhatToTextEmits) {
+  // format_double never produces a leading '+', hex floats, a bare '.',
+  // or embedded whitespace — accepting them would make round trips lossy.
+  expect_parse_rejects("powertrain.aux_power_w = +1.5\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = 0x1p3\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = 1.\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = .5\n", "expects a number");
+  expect_parse_rejects("powertrain.aux_power_w = 1e\n", "expects a number");
+  expect_parse_rejects("drive.repeat = +3\n", "non-negative integer");
+  expect_parse_rejects("drive.repeat = 0x10\n", "non-negative integer");
+  expect_parse_rejects("drive.repeat = 3.0\n", "non-negative integer");
+  expect_parse_rejects("timing.middleware_frame_us = +20000\n", "integer");
+  // The exponent form to_text does emit (e.g. 5e+05) still parses.
+  ScenarioSpec spec = ScenarioSpec::from_text("network.can_bit_rate = 5e+05\n");
+  EXPECT_EQ(spec.network.can_bit_rate, 500e3);
+  spec = ScenarioSpec::from_text("network.can_bit_rate = 2.5E5\n");
+  EXPECT_EQ(spec.network.can_bit_rate, 250e3);
+}
+
+TEST(ScenarioParser, RejectsEmptyValue) {
+  expect_parse_rejects("drive.repeat =\n", "empty");
+  expect_parse_rejects("= 3\n", "empty");
+}
+
+TEST(ScenarioValidate, RejectsNonFiniteFields) {
+  // Programmatic specs can hold inf/nan without going through the parser;
+  // validate() must close the same hole (NaN passes every `< lo || > hi`
+  // range check, +inf passes one-sided lower bounds).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  ScenarioSpec spec;
+  spec.pack.initial_soc = nan;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.powertrain.aux_power_w = inf;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.network.load_scale = nan;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.pack.soc_spread_sigma = inf;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.timing.control_period_s = nan;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.faults.push_back({nan, FaultKind::kBusDrop, "safety_can", 2.0});
+  spec.subsystems.faults = true;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = ScenarioSpec{};
+  spec.faults.push_back({1.0, FaultKind::kBusDrop, "safety_can", nan});
+  spec.subsystems.faults = true;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(ScenarioParser, RejectsDuplicateKeys) {
   // Last-wins would silently accept two contradictory lines; the parser
   // rejects the ambiguity instead, naming the repeated key.

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -82,6 +83,54 @@ TEST(FleetSpec, FromTextRejectsDuplicateKeys) {
   const FleetSpec spec;
   const std::string text = spec.to_text() + "fleet.stations = 9\n";
   EXPECT_THROW((void)FleetSpec::from_text(text), std::invalid_argument);
+}
+
+// Substring assertion helper for the .fleet parser's diagnostics.
+void expect_fleet_rejects(const std::string& line, const std::string& needle) {
+  try {
+    (void)FleetSpec::from_text(line);
+    FAIL() << "accepted: " << line;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "for " << line << " got: " << e.what();
+  }
+}
+
+TEST(FleetSpec, ParserRejectsOutOfRangeAndNonFinite) {
+  // Same closed grammar as the scenario parser: the .fleet reader shares
+  // kv_text.h, so strtod/strtoull saturation and extensions must fail
+  // typed here too.
+  expect_fleet_rejects("grid.capacity_kw = 1e999\n", "out of range");
+  expect_fleet_rejects("fleet.tick_s = 1e-999\n", "out of range");
+  expect_fleet_rejects("fleet.stations = 99999999999999999999\n",
+                       "out of range");
+  expect_fleet_rejects("grid.capacity_kw = inf\n", "expects a number");
+  expect_fleet_rejects("grid.capacity_kw = nan\n", "expects a number");
+  expect_fleet_rejects("fleet.stations = +4\n", "non-negative integer");
+  expect_fleet_rejects("fleet.tick_s = 0x1p-1\n", "expects a number");
+  expect_fleet_rejects("fleet.tick_s = +0.5\n", "expects a number");
+  expect_fleet_rejects("fleet.tick_s =\n", "empty");
+}
+
+TEST(FleetSpec, ValidateRejectsNonFiniteFields) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  FleetSpec spec;
+  spec.grid_capacity_kw = inf;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = FleetSpec{};
+  spec.tick_s = nan;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = FleetSpec{};
+  spec.msg_loss_probability = nan;  // NaN sails through `< 0 || > 1`
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = FleetSpec{};
+  spec.grid_faults.push_back(
+      GridFaultSpec{nan, GridFaultKindSpec::kCommsBlackout, 0, 0.0, 60.0});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
 // --- Retry queue edge cases (satellite: retry/backoff coverage) -------------

@@ -1,0 +1,195 @@
+// Tests for the E25 fuzz harness: generator determinism and validity,
+// property-style text round trips over generated ScenarioSpecs and
+// FleetSpecs, the single-spec pipeline, the delta-shrinker, and the
+// jobs-independence of the campaign report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "ev/analysis/model.h"
+#include "ev/config/fleet.h"
+#include "ev/config/scenario.h"
+#include "ev/fuzz/fuzz.h"
+
+namespace {
+
+using namespace ev::fuzz;
+
+constexpr int kPropertyCount = 100;
+constexpr std::uint64_t kSeed = 42;
+
+// ---- generator ----
+
+TEST(FuzzGenerator, IsDeterministicPerSeedAndIndex) {
+  const ScenarioGenerator a(kSeed);
+  const ScenarioGenerator b(kSeed);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.scenario(i), b.scenario(i)) << "scenario index " << i;
+    EXPECT_EQ(a.fleet(i), b.fleet(i)) << "fleet index " << i;
+  }
+  // Different seeds diverge, and within a seed the stream is not constant.
+  const ScenarioGenerator c(kSeed + 1);
+  EXPECT_NE(a.scenario(0), c.scenario(0));
+  EXPECT_NE(a.scenario(0), a.scenario(1));
+}
+
+TEST(FuzzGenerator, EveryScenarioValidatesAndExtracts) {
+  const ScenarioGenerator gen(kSeed);
+  for (int i = 0; i < kPropertyCount; ++i) {
+    const ev::config::ScenarioSpec spec = gen.scenario(i);
+    EXPECT_NO_THROW(spec.validate()) << "scenario index " << i;
+    EXPECT_NO_THROW((void)ev::analysis::extract_model(spec))
+        << "scenario index " << i;
+  }
+}
+
+TEST(FuzzGenerator, ScenarioRoundTripsExactly) {
+  // The property the tentpole exists to defend: to_text → from_text is the
+  // identity on every valid spec, including the weird corners the
+  // generator reaches (fault plans, arch overrides, error models).
+  const ScenarioGenerator gen(kSeed);
+  for (int i = 0; i < kPropertyCount; ++i) {
+    const ev::config::ScenarioSpec spec = gen.scenario(i);
+    const ev::config::ScenarioSpec back =
+        ev::config::ScenarioSpec::from_text(spec.to_text());
+    EXPECT_EQ(spec, back) << "scenario index " << i;
+  }
+}
+
+TEST(FuzzGenerator, FleetRoundTripsExactly) {
+  const ScenarioGenerator gen(kSeed);
+  for (int i = 0; i < kPropertyCount; ++i) {
+    const ev::config::FleetSpec spec = gen.fleet(i);
+    EXPECT_NO_THROW(spec.validate()) << "fleet index " << i;
+    const ev::config::FleetSpec back =
+        ev::config::FleetSpec::from_text(spec.to_text());
+    EXPECT_EQ(spec, back) << "fleet index " << i;
+  }
+}
+
+TEST(FuzzGenerator, StreamCoversTheInterestingFeatures) {
+  // A generator that silently stopped producing faults or arch overrides
+  // would hollow the campaign out while staying green.
+  const ScenarioGenerator gen(kSeed);
+  int with_faults = 0;
+  int with_error_model = 0;
+  int with_arch = 0;
+  std::set<std::string> cycles;
+  for (int i = 0; i < kPropertyCount; ++i) {
+    const ev::config::ScenarioSpec spec = gen.scenario(i);
+    if (!spec.faults.empty()) ++with_faults;
+    for (const auto& f : spec.faults) {
+      if (f.kind == ev::config::FaultKind::kBusErrorRate ||
+          f.kind == ev::config::FaultKind::kBusErrorProb)
+        ++with_error_model;
+    }
+    if (!spec.arch.frame_buses.empty() || !spec.arch.frame_ids.empty() ||
+        !spec.arch.fr_slots.empty() || !spec.arch.partitions.empty())
+      ++with_arch;
+    cycles.insert(ev::config::to_string(spec.drive.cycle));
+  }
+  EXPECT_GT(with_faults, kPropertyCount / 4);
+  EXPECT_GT(with_error_model, 0);
+  EXPECT_GT(with_arch, kPropertyCount / 4);
+  EXPECT_GE(cycles.size(), 2u);
+}
+
+// ---- single-spec pipeline ----
+
+TEST(FuzzPipeline, StockSpecSimulatesWithActiveOracles) {
+  ev::config::ScenarioSpec spec;
+  spec.name = "fuzz-pipeline-smoke";
+  spec.subsystems.obs = true;
+  const ScenarioOutcome outcome = evaluate_scenario(spec);
+  EXPECT_EQ(outcome.verdict, Verdict::kSimulated)
+      << to_string(outcome.failure) << ": " << outcome.detail;
+  EXPECT_EQ(outcome.failure, FailureKind::kNone);
+  EXPECT_EQ(outcome.check_errors, 0u);
+  // A clean fault-free run must actually compare E19 bounds, and the
+  // digest pins the result JSON.
+  EXPECT_GT(outcome.bound_comparisons, 0u);
+  EXPECT_EQ(outcome.prob_comparisons, 0u);
+  EXPECT_NE(outcome.result_digest, 0u);
+}
+
+TEST(FuzzPipeline, ErrorSpecIsRejectedNotSimulated) {
+  // An unschedulable bus is a check *error*: the pre-filter must reject it
+  // instead of simulating a spec static analysis already condemned.
+  ev::config::ScenarioSpec spec;
+  spec.name = "fuzz-pipeline-reject";
+  spec.network.load_scale = 4.0;
+  spec.network.can_bit_rate = 125e3;
+  const ScenarioOutcome outcome = evaluate_scenario(spec);
+  EXPECT_EQ(outcome.verdict, Verdict::kRejected);
+  EXPECT_GT(outcome.check_errors, 0u);
+}
+
+// ---- shrinker ----
+
+TEST(FuzzShrinker, MinimizesToThePredicateCore) {
+  // Build a deliberately noisy spec, then shrink against a synthetic
+  // predicate ("still contains a bus.off fault"). Everything irrelevant
+  // to the predicate must fall away.
+  const ScenarioGenerator gen(kSeed);
+  ev::config::ScenarioSpec spec = gen.scenario(3);
+  spec.subsystems.faults = true;
+  spec.faults.push_back({5.0, ev::config::FaultKind::kBusOff, "safety_can", 0.1});
+  spec.faults.push_back({6.0, ev::config::FaultKind::kBusDrop, "comfort_can", 3.0});
+  spec.faults.push_back(
+      {7.0, ev::config::FaultKind::kSensorStuck, "0", 3.6});
+  spec.drive.repeat = 2;
+  spec.subsystems.security = true;
+  ASSERT_NO_THROW(spec.validate());
+
+  int evals = 0;
+  const auto still_fails = [&](const ev::config::ScenarioSpec& s) {
+    ++evals;
+    return std::any_of(s.faults.begin(), s.faults.end(), [](const auto& f) {
+      return f.kind == ev::config::FaultKind::kBusOff;
+    });
+  };
+  const ev::config::ScenarioSpec small = shrink_spec(spec, still_fails, 200);
+
+  ASSERT_EQ(small.faults.size(), 1u);
+  EXPECT_EQ(small.faults[0].kind, ev::config::FaultKind::kBusOff);
+  EXPECT_TRUE(small.arch.frame_buses.empty());
+  EXPECT_TRUE(small.arch.frame_ids.empty());
+  EXPECT_TRUE(small.arch.fr_slots.empty());
+  EXPECT_TRUE(small.arch.partitions.empty());
+  EXPECT_EQ(small.drive.repeat, 1u);
+  EXPECT_FALSE(small.subsystems.security);
+  EXPECT_NO_THROW(small.validate());
+  EXPECT_GT(evals, 0);
+  EXPECT_LE(evals, 200);
+}
+
+TEST(FuzzShrinker, ReturnsInputWhenPredicateNeverHolds) {
+  ev::config::ScenarioSpec spec;
+  spec.name = "shrink-noop";
+  const ev::config::ScenarioSpec out =
+      shrink_spec(spec, [](const auto&) { return false; }, 10);
+  EXPECT_EQ(out, spec);
+}
+
+// ---- campaign determinism ----
+
+TEST(FuzzCampaign, ReportIsIndependentOfJobs) {
+  FuzzOptions options;
+  options.seed = 7;
+  options.count = 4;
+  options.shrink = false;
+  options.jobs = 1;
+  const FuzzResult serial = run_fuzz(options);
+  options.jobs = 4;
+  const FuzzResult parallel = run_fuzz(options);
+  EXPECT_EQ(fuzz_json(serial), fuzz_json(parallel));
+  EXPECT_EQ(serial.failures(), 0u);
+  EXPECT_EQ(static_cast<int>(serial.scenarios.size()), options.count);
+  EXPECT_GT(serial.fleets_generated, 0);
+}
+
+}  // namespace

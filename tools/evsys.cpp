@@ -28,6 +28,7 @@
 #include "ev/core/scenario.h"
 #include "ev/core/subsystems.h"
 #include "ev/fleet/simulation.h"
+#include "ev/fuzz/fuzz.h"
 #include "ev/obs/export.h"
 #include "ev/synthesis/synthesis.h"
 
@@ -35,8 +36,8 @@ namespace {
 
 // Single source of truth for the error paths: every valid verb and template
 // kind, in the order the usage text lists them.
-constexpr const char* kVerbs[] = {"campaign", "check",      "fleet",   "print",
-                                  "run",      "synthesize", "template"};
+constexpr const char* kVerbs[] = {"campaign", "check", "fleet",      "fuzz",
+                                  "print",    "run",   "synthesize", "template"};
 constexpr const char* kTemplateKinds[] = {"scenario", "fleet"};
 
 template <std::size_t N>
@@ -57,6 +58,8 @@ int usage(const char* argv0) {
                "       %s fleet <scenario.fleet> [--jobs <n>] [--out <file>]\n"
                "                [--metrics <base>]\n"
                "       %s check <scenario.scn> [--prob] [--out <file>]\n"
+               "       %s fuzz [--seed <n>] [--count <n>] [--jobs <n>]\n"
+               "                [--out <file>] [--repro-dir <dir>] [--no-shrink]\n"
                "       %s synthesize <scenario.scn> [--seed <n>] [--iters <n>]\n"
                "                [--jobs <n>] [--out <file>] [--report <file>]\n"
                "                [--cross-check]\n"
@@ -95,6 +98,17 @@ int usage(const char* argv0) {
                "            JSON to stdout (or --out). --metrics <base> also\n"
                "            exports <base>.metrics.json/.metrics.csv. Output\n"
                "            is byte-identical for any --jobs value.\n"
+               "  fuzz      differential-test the whole stack: derive --count\n"
+               "            valid-by-construction scenarios from --seed, run\n"
+               "            each through text round-trip, static check (as a\n"
+               "            pre-filter), co-simulation, and the E19/E24/\n"
+               "            conservation oracles on --jobs worker threads\n"
+               "            (default 1; 0 = one per hardware thread). Failures\n"
+               "            are delta-shrunk (--no-shrink skips that) and\n"
+               "            dumped as reproducer .scn files under --repro-dir.\n"
+               "            The campaign report JSON goes to stdout (or --out)\n"
+               "            and is byte-identical for any --jobs value. Exit\n"
+               "            code: 0 when every oracle held, 1 otherwise.\n"
                "  synthesize\n"
                "            invert check: search the architecture design space\n"
                "            (frame placement, CAN priorities, FlexRay slots,\n"
@@ -110,7 +124,7 @@ int usage(const char* argv0) {
                "            text form (a lossless round-trip).\n"
                "  template  print a default scenario to start from\n"
                "            ('template fleet' prints a fleet scenario).\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -280,6 +294,39 @@ int cmd_synthesize(const std::string& path, const ev::synthesis::SynthesisOption
   return result.feasible ? 0 : 1;
 }
 
+int cmd_fuzz(const ev::fuzz::FuzzOptions& options, const std::string& out_path) {
+  const ev::fuzz::FuzzResult result = ev::fuzz::run_fuzz(options);
+  const std::string json = ev::fuzz::fuzz_json(result);
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "evsys: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+  }
+  std::size_t rejected = 0, simulated = 0;
+  for (const ev::fuzz::ScenarioOutcome& outcome : result.scenarios) {
+    if (outcome.verdict == ev::fuzz::Verdict::kRejected) ++rejected;
+    if (outcome.verdict == ev::fuzz::Verdict::kSimulated) ++simulated;
+  }
+  const std::size_t failures = result.failures();
+  std::fprintf(stderr,
+               "evsys fuzz: seed %llu, %d scenarios (%zu simulated, %zu "
+               "rejected by check), %d fleet round trips, %zu failures\n",
+               static_cast<unsigned long long>(result.seed), result.count,
+               simulated, rejected, result.fleets_generated, failures);
+  for (const ev::fuzz::ScenarioOutcome& outcome : result.scenarios)
+    if (outcome.failure != ev::fuzz::FailureKind::kNone)
+      std::fprintf(stderr, "evsys fuzz: [%d] %s: %s%s%s\n", outcome.index,
+                   ev::fuzz::to_string(outcome.failure), outcome.detail.c_str(),
+                   outcome.reproducer.empty() ? "" : " — reproducer ",
+                   outcome.reproducer.c_str());
+  return failures > 0 ? 1 : 0;
+}
+
 int cmd_print(const std::string& path) {
   const ev::config::ScenarioSpec spec = ev::config::load_scenario_file(path);
   std::fputs(spec.to_text().c_str(), stdout);
@@ -384,6 +431,32 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_run(argv[2], out_path, metrics_base);
+    }
+    if (command == "fuzz") {
+      ev::fuzz::FuzzOptions options;
+      std::string out_path;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          options.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+          options.count = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          options.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--repro-dir") == 0 && i + 1 < argc) {
+          options.reproducer_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+          options.shrink = false;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (options.count < 1) {
+        std::fprintf(stderr, "evsys: --count must be >= 1\n");
+        return 2;
+      }
+      return cmd_fuzz(options, out_path);
     }
     if (command == "synthesize") {
       if (argc < 3) return usage(argv[0]);
